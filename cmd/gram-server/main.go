@@ -1,0 +1,54 @@
+// Command gram-server runs the GSI-protected job manager substrate
+// (paper §2.5): it authenticates Grid clients, maps them to local accounts
+// via a grid-mapfile, runs simulated jobs, and accepts delegated
+// credentials so jobs can act on the user's behalf (paper §2.4).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/gram"
+	"repro/internal/gsi"
+)
+
+func main() {
+	listen := flag.String("listen", ":2119", "listen address (2119 is the Globus gatekeeper port)")
+	credFile := flag.String("cred", "gram-host.pem", "service host credential")
+	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
+	gridmapFile := flag.String("gridmap", "grid-mapfile", "DN-to-account map file")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gram: ", log.LstdFlags)
+	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	roots, err := cliutil.LoadRoots(*caFile)
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	data, err := os.ReadFile(*gridmapFile)
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	gridmap, err := gsi.ParseGridmap(data)
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	srv, err := gram.NewServer(gram.Config{Credential: cred, Roots: roots, Gridmap: gridmap})
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+	logger.Printf("job manager %s listening on %s (%d gridmap entries)", cred.Subject(), *listen, gridmap.Len())
+	if err := srv.Serve(ln); err != nil {
+		cliutil.Fatalf("gram-server: %v", err)
+	}
+}

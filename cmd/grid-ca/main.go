@@ -1,0 +1,189 @@
+// Command grid-ca manages a test certificate authority: it creates the CA,
+// issues long-term user and host credentials, and exports the trust-root
+// bundle relying parties need. It stands in for the production CAs of the
+// paper's Grid deployments (paper §2.1).
+//
+// Usage:
+//
+//	grid-ca init   -dir ca/ -name "/C=US/O=Example Grid/CN=Example CA"
+//	grid-ca user   -dir ca/ -cn "Jane Doe" -out jane.pem [-encrypt]
+//	grid-ca host   -dir ca/ -hostname portal.example.org -out portal.pem
+//	grid-ca show   -dir ca/
+//	grid-ca revoke -dir ca/ -cert stolen.pem
+//	grid-ca crl    -dir ca/ -out ca.crl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/pki"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		cliutil.Fatalf("usage: grid-ca {init|user|host|show|revoke|crl} [flags]")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "init":
+		cmdInit(args)
+	case "user":
+		cmdUser(args)
+	case "host":
+		cmdHost(args)
+	case "show":
+		cmdShow(args)
+	case "revoke":
+		cmdRevoke(args)
+	case "crl":
+		cmdCRL(args)
+	default:
+		cliutil.Fatalf("grid-ca: unknown subcommand %q", cmd)
+	}
+}
+
+func caPaths(dir string) (certPath, keyPath string) {
+	return filepath.Join(dir, "ca-cert.pem"), filepath.Join(dir, "ca-key.pem")
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("grid-ca init", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	name := fs.String("name", "/C=US/O=Example Grid/CN=Example CA", "CA distinguished name")
+	bits := fs.Int("bits", pki.DefaultKeyBits, "RSA modulus size")
+	years := fs.Int("years", 10, "CA certificate lifetime in years")
+	fs.Parse(args)
+
+	dn, err := pki.ParseDN(*name)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	ca, err := pki.NewCA(pki.CAConfig{
+		Name:     dn,
+		KeyBits:  *bits,
+		Lifetime: time.Duration(*years) * 365 * 24 * time.Hour,
+	})
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	if err := os.MkdirAll(*dir, 0o700); err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	certPath, keyPath := caPaths(*dir)
+	if err := os.WriteFile(certPath, pki.EncodeCertPEM(ca.Certificate()), 0o644); err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	if err := os.WriteFile(keyPath, pki.EncodeKeyPEM(ca.Credential().PrivateKey), 0o600); err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	fmt.Printf("created CA %s\n  certificate: %s\n  key:         %s\n", dn, certPath, keyPath)
+}
+
+func loadCA(dir string) *pki.CA {
+	certPath, keyPath := caPaths(dir)
+	cred, err := cliutil.LoadCertKey(certPath, keyPath, "CA key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	ca, err := pki.LoadCA(cred)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	return ca
+}
+
+func cmdUser(args []string) {
+	fs := flag.NewFlagSet("grid-ca user", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	cn := fs.String("cn", "", "user common name (required)")
+	org := fs.String("org", "", "organizational DN prefix; default derives from the CA name")
+	out := fs.String("out", "", "output credential file (required)")
+	bits := fs.Int("bits", pki.DefaultKeyBits, "RSA modulus size")
+	days := fs.Int("days", 365, "certificate lifetime in days")
+	encrypt := fs.Bool("encrypt", false, "seal the private key with a pass phrase")
+	fs.Parse(args)
+	if *cn == "" || *out == "" {
+		cliutil.Fatalf("grid-ca user: -cn and -out are required")
+	}
+	ca := loadCA(*dir)
+	base := basePrefix(ca, *org)
+	cred, err := ca.IssueCredential(base.WithCN(*cn), time.Duration(*days)*24*time.Hour, *bits)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	var pass []byte
+	if *encrypt {
+		p, err := cliutil.PromptNewPassphrase("key pass phrase")
+		if err != nil {
+			cliutil.Fatalf("grid-ca: %v", err)
+		}
+		pass = []byte(p)
+	}
+	if err := cred.SaveCredential(*out, pass); err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	fmt.Printf("issued %s -> %s\n", cred.Subject(), *out)
+}
+
+func cmdHost(args []string) {
+	fs := flag.NewFlagSet("grid-ca host", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	hostname := fs.String("hostname", "", "service host name (required)")
+	org := fs.String("org", "", "organizational DN prefix; default derives from the CA name")
+	out := fs.String("out", "", "output credential file (required)")
+	bits := fs.Int("bits", pki.DefaultKeyBits, "RSA modulus size")
+	days := fs.Int("days", 365, "certificate lifetime in days")
+	fs.Parse(args)
+	if *hostname == "" || *out == "" {
+		cliutil.Fatalf("grid-ca host: -hostname and -out are required")
+	}
+	ca := loadCA(*dir)
+	base := basePrefix(ca, *org)
+	cred, err := ca.IssueHostCredential(base, *hostname, time.Duration(*days)*24*time.Hour, *bits)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	if err := cred.SaveCredential(*out, nil); err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	fmt.Printf("issued %s -> %s\n", cred.Subject(), *out)
+}
+
+// basePrefix derives the issued-subject prefix: an explicit -org wins;
+// otherwise the CA's own DN minus its final CN.
+func basePrefix(ca *pki.CA, org string) pki.DN {
+	if org != "" {
+		dn, err := pki.ParseDN(org)
+		if err != nil {
+			cliutil.Fatalf("grid-ca: %v", err)
+		}
+		return dn
+	}
+	dn := ca.SubjectDN()
+	if len(dn) > 1 && dn[len(dn)-1].Type == "CN" {
+		return dn[:len(dn)-1]
+	}
+	return dn
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("grid-ca show", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	fs.Parse(args)
+	certPath, _ := caPaths(*dir)
+	data, err := os.ReadFile(certPath)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	cert, err := pki.DecodeCertPEM(data)
+	if err != nil {
+		cliutil.Fatalf("grid-ca: %v", err)
+	}
+	dn, _ := pki.ParseRawDN(cert.RawSubject)
+	fmt.Printf("subject:   %s\nserial:    %s\nnot after: %s\n", dn, cert.SerialNumber, cert.NotAfter.Format(time.RFC3339))
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/pki"
+)
+
+// Revocation state persists across grid-ca invocations in revoked.json
+// inside the CA directory; `grid-ca crl` signs it into a distributable CRL
+// (paper §2.1: stolen credentials are "revoked by the CA").
+
+type revocationFile struct {
+	Revoked map[string]time.Time `json:"revoked"` // serial (decimal) -> time
+}
+
+func revocationPath(dir string) string { return filepath.Join(dir, "revoked.json") }
+
+func loadRevocations(dir string) (*revocationFile, error) {
+	rf := &revocationFile{Revoked: make(map[string]time.Time)}
+	data, err := os.ReadFile(revocationPath(dir))
+	if os.IsNotExist(err) {
+		return rf, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, rf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", revocationPath(dir), err)
+	}
+	if rf.Revoked == nil {
+		rf.Revoked = make(map[string]time.Time)
+	}
+	return rf, nil
+}
+
+func (rf *revocationFile) save(dir string) error {
+	data, err := json.MarshalIndent(rf, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(revocationPath(dir), data, 0o600)
+}
+
+func cmdRevoke(args []string) {
+	fs := flag.NewFlagSet("grid-ca revoke", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	certFile := fs.String("cert", "", "certificate file to revoke")
+	serialStr := fs.String("serial", "", "serial number to revoke (decimal; alternative to -cert)")
+	fs.Parse(args)
+
+	var serial *big.Int
+	switch {
+	case *certFile != "":
+		data, err := os.ReadFile(*certFile)
+		if err != nil {
+			cliutil.Fatalf("grid-ca revoke: %v", err)
+		}
+		cert, err := pki.DecodeCertPEM(data)
+		if err != nil {
+			cliutil.Fatalf("grid-ca revoke: %v", err)
+		}
+		serial = cert.SerialNumber
+	case *serialStr != "":
+		n, ok := new(big.Int).SetString(*serialStr, 10)
+		if !ok {
+			cliutil.Fatalf("grid-ca revoke: invalid serial %q", *serialStr)
+		}
+		serial = n
+	default:
+		cliutil.Fatalf("grid-ca revoke: -cert or -serial is required")
+	}
+	rf, err := loadRevocations(*dir)
+	if err != nil {
+		cliutil.Fatalf("grid-ca revoke: %v", err)
+	}
+	rf.Revoked[serial.String()] = time.Now().UTC()
+	if err := rf.save(*dir); err != nil {
+		cliutil.Fatalf("grid-ca revoke: %v", err)
+	}
+	fmt.Printf("revoked serial %s (%d total); run 'grid-ca crl' to publish\n", serial, len(rf.Revoked))
+}
+
+func cmdCRL(args []string) {
+	fs := flag.NewFlagSet("grid-ca crl", flag.ExitOnError)
+	dir := fs.String("dir", "grid-ca", "CA state directory")
+	out := fs.String("out", "", "output CRL file (default <dir>/ca.crl)")
+	hours := fs.Int("hours", 24, "CRL validity in hours")
+	fs.Parse(args)
+	if *out == "" {
+		*out = filepath.Join(*dir, "ca.crl")
+	}
+	ca := loadCA(*dir)
+	rf, err := loadRevocations(*dir)
+	if err != nil {
+		cliutil.Fatalf("grid-ca crl: %v", err)
+	}
+	for serial, when := range rf.Revoked {
+		n, ok := new(big.Int).SetString(serial, 10)
+		if !ok {
+			cliutil.Fatalf("grid-ca crl: corrupt serial %q in revoked.json", serial)
+		}
+		ca.RevokeSerial(n, when)
+	}
+	crl, err := ca.CRL(time.Duration(*hours) * time.Hour)
+	if err != nil {
+		cliutil.Fatalf("grid-ca crl: %v", err)
+	}
+	if err := os.WriteFile(*out, pki.EncodeCRLPEM(crl), 0o644); err != nil {
+		cliutil.Fatalf("grid-ca crl: %v", err)
+	}
+	fmt.Printf("published CRL with %d revocation(s) to %s (valid %dh)\n", len(rf.Revoked), *out, *hours)
+}

@@ -1,0 +1,60 @@
+// Command grid-proxy-info inspects a proxy credential file: identity,
+// proxy type and depth, policy, and remaining lifetime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/pki"
+	"repro/internal/proxy"
+)
+
+func main() {
+	file := flag.String("file", cliutil.DefaultProxyPath(), "proxy file to inspect")
+	flag.Parse()
+
+	cred, err := cliutil.LoadCredential(*file, "key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-info: %v", err)
+	}
+	subjectDN, err := cred.SubjectDN()
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-info: %v", err)
+	}
+	fmt.Printf("subject  : %s\n", subjectDN)
+	issuerDN, _ := pki.ParseRawDN(cred.Certificate.RawIssuer)
+	fmt.Printf("issuer   : %s\n", issuerDN)
+
+	// Walk down the chain to the first non-proxy certificate for the
+	// Grid identity, counting proxy hops.
+	depth := 0
+	identity := subjectDN
+	for _, c := range cred.CertChain() {
+		if !proxy.IsProxy(c) {
+			dn, err := pki.ParseRawDN(c.RawSubject)
+			if err == nil {
+				identity = dn
+			}
+			break
+		}
+		depth++
+	}
+	fmt.Printf("identity : %s\n", identity)
+
+	desc, err := proxy.Describe(cred.Certificate)
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-info: %v", err)
+	}
+	fmt.Printf("type     : %s\n", desc)
+	fmt.Printf("depth    : %d\n", depth)
+	fmt.Printf("strength : %d bits\n", cred.PrivateKey.N.BitLen())
+	left := cred.TimeLeft()
+	if left <= 0 {
+		fmt.Printf("timeleft : EXPIRED (%s)\n", cred.Certificate.NotAfter.Format(time.RFC3339))
+	} else {
+		fmt.Printf("timeleft : %s\n", left.Round(time.Second))
+	}
+}

@@ -1,0 +1,68 @@
+// Command grid-proxy-init creates a short-term proxy credential from the
+// user's long-term credential, exactly as the paper's §2.5 describes: "a
+// typical session with GSI would involve the user using their pass phrase
+// and a GSI tool called grid-proxy-init to create a proxy credential from
+// their long-term credential."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/pki"
+	"repro/internal/proxy"
+)
+
+func main() {
+	cert := flag.String("cert", cliutil.DefaultUserCertPath(), "user certificate file")
+	key := flag.String("key", cliutil.DefaultUserKeyPath(), "user private key file")
+	credFile := flag.String("cred", "", "combined credential file (overrides -cert/-key)")
+	out := flag.String("out", cliutil.DefaultProxyPath(), "output proxy file")
+	hours := flag.Float64("hours", 12, "proxy lifetime in hours")
+	bits := flag.Int("bits", pki.DefaultKeyBits, "proxy key size")
+	limited := flag.Bool("limited", false, "create a limited proxy")
+	legacy := flag.Bool("legacy", false, "create a legacy (CN=proxy) style proxy instead of RFC 3820")
+	pathLen := flag.Int("pathlen", -1, "RFC 3820 path length constraint (-1 = unlimited)")
+	flag.Parse()
+
+	var cred *pki.Credential
+	var err error
+	if *credFile != "" {
+		cred, err = cliutil.LoadCredential(*credFile, "key pass phrase")
+	} else {
+		cred, err = cliutil.LoadCertKey(*cert, *key, "key pass phrase")
+	}
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-init: %v", err)
+	}
+
+	opts := proxy.Options{
+		Lifetime: time.Duration(*hours * float64(time.Hour)),
+		KeyBits:  *bits,
+	}
+	switch {
+	case *legacy && *limited:
+		opts.Type = proxy.LegacyLimited
+	case *legacy:
+		opts.Type = proxy.Legacy
+	case *limited:
+		opts.Type = proxy.RFC3820Limited
+	default:
+		opts.Type = proxy.RFC3820
+	}
+	if *pathLen >= 0 {
+		opts.PathLenConstraint = proxy.PathLen(*pathLen)
+	}
+
+	p, err := proxy.New(cred, opts)
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-init: %v", err)
+	}
+	if err := p.SaveCredential(*out, nil); err != nil {
+		cliutil.Fatalf("grid-proxy-init: %v", err)
+	}
+	fmt.Printf("Your proxy %s is valid until %s\n  identity: %s\n  file:     %s\n",
+		opts.Type, p.Certificate.NotAfter.Local().Format(time.RFC1123), cred.Subject(), *out)
+}

@@ -1,0 +1,60 @@
+// Command mss-server runs the GSI-protected mass storage substrate — the
+// paper's §2.4 example of a delegation consumer ("a user's job that needs
+// to authenticate as the user to mass storage ... to store the result of a
+// long computation").
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/gsi"
+	"repro/internal/mss"
+)
+
+func main() {
+	listen := flag.String("listen", ":2811", "listen address (2811 is the GridFTP port)")
+	credFile := flag.String("cred", "mss-host.pem", "service host credential")
+	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
+	gridmapFile := flag.String("gridmap", "grid-mapfile", "DN-to-account map file")
+	maxObject := flag.Int("max-object", 256<<10, "maximum object size in bytes")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mss: ", log.LstdFlags)
+	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	roots, err := cliutil.LoadRoots(*caFile)
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	data, err := os.ReadFile(*gridmapFile)
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	gridmap, err := gsi.ParseGridmap(data)
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	srv, err := mss.NewServer(mss.Config{
+		Credential:     cred,
+		Roots:          roots,
+		Gridmap:        gridmap,
+		MaxObjectBytes: *maxObject,
+	})
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+	logger.Printf("mass storage %s listening on %s", cred.Subject(), *listen)
+	if err := srv.Serve(ln); err != nil {
+		cliutil.Fatalf("mss-server: %v", err)
+	}
+}

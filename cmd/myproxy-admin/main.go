@@ -1,0 +1,138 @@
+// Command myproxy-admin operates directly on a repository's credential
+// store directory (run it on the repository host as the service account):
+// list holdings, purge expired credentials, and remove users. It mirrors
+// the C implementation's myproxy-admin-* utilities.
+//
+//	myproxy-admin list    -store myproxy-store [-l username]
+//	myproxy-admin purge   -store myproxy-store
+//	myproxy-admin remove  -store myproxy-store -l username [-k name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/credstore"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		cliutil.Fatalf("usage: myproxy-admin {list|purge|remove} [flags]")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "list":
+		cmdList(args)
+	case "purge":
+		cmdPurge(args)
+	case "remove":
+		cmdRemove(args)
+	default:
+		cliutil.Fatalf("myproxy-admin: unknown subcommand %q", cmd)
+	}
+}
+
+func openStore(dir string) *credstore.FileStore {
+	store, err := credstore.NewFileStore(dir)
+	if err != nil {
+		cliutil.Fatalf("myproxy-admin: %v", err)
+	}
+	return store
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("myproxy-admin list", flag.ExitOnError)
+	dir := fs.String("store", "myproxy-store", "credential store directory")
+	username := fs.String("l", "", "limit to one username")
+	fs.Parse(args)
+	store := openStore(*dir)
+
+	usernames := []string{*username}
+	if *username == "" {
+		var err error
+		usernames, err = store.Usernames()
+		if err != nil {
+			cliutil.Fatalf("myproxy-admin: %v", err)
+		}
+	}
+	now := time.Now()
+	total := 0
+	for _, u := range usernames {
+		entries, err := store.List(u)
+		if err != nil {
+			cliutil.Fatalf("myproxy-admin: %v", err)
+		}
+		for _, e := range entries {
+			total++
+			name := e.Name
+			if name == "" {
+				name = "(default)"
+			}
+			status := "valid"
+			if e.Expired(now) {
+				status = "EXPIRED"
+			}
+			extra := []string{e.Kind.String(), status}
+			if e.Renewable {
+				extra = append(extra, "renewable")
+			}
+			if len(e.TaskTags) != 0 {
+				extra = append(extra, "tasks="+strings.Join(e.TaskTags, ","))
+			}
+			fmt.Printf("%-16s %-16s owner=%s until=%s [%s]\n",
+				u, name, e.Owner, e.NotAfter.Format(time.RFC3339), strings.Join(extra, " "))
+		}
+	}
+	fmt.Printf("%d credential(s)\n", total)
+}
+
+func cmdPurge(args []string) {
+	fs := flag.NewFlagSet("myproxy-admin purge", flag.ExitOnError)
+	dir := fs.String("store", "myproxy-store", "credential store directory")
+	dryRun := fs.Bool("dry-run", false, "report without deleting")
+	fs.Parse(args)
+	store := openStore(*dir)
+	removed, err := credstore.PurgeExpired(store, time.Now(), *dryRun)
+	if err != nil {
+		cliutil.Fatalf("myproxy-admin: %v", err)
+	}
+	verb := "purged"
+	if *dryRun {
+		verb = "would purge"
+	}
+	fmt.Printf("%s %d expired credential(s)\n", verb, removed)
+}
+
+func cmdRemove(args []string) {
+	fs := flag.NewFlagSet("myproxy-admin remove", flag.ExitOnError)
+	dir := fs.String("store", "myproxy-store", "credential store directory")
+	username := fs.String("l", "", "username (required)")
+	name := fs.String("k", "", "credential name (empty = default; use -all for every credential)")
+	all := fs.Bool("all", false, "remove every credential for the user")
+	fs.Parse(args)
+	if *username == "" {
+		cliutil.Fatalf("myproxy-admin remove: -l username is required")
+	}
+	store := openStore(*dir)
+	if *all {
+		entries, err := store.List(*username)
+		if err != nil {
+			cliutil.Fatalf("myproxy-admin: %v", err)
+		}
+		for _, e := range entries {
+			if err := store.Delete(*username, e.Name); err != nil {
+				cliutil.Fatalf("myproxy-admin: %v", err)
+			}
+		}
+		fmt.Printf("removed %d credential(s) for %s\n", len(entries), *username)
+		return
+	}
+	if err := store.Delete(*username, *name); err != nil {
+		cliutil.Fatalf("myproxy-admin: %v", err)
+	}
+	fmt.Printf("removed %s/%s\n", *username, *name)
+}

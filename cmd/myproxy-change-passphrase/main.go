@@ -1,0 +1,38 @@
+// Command myproxy-change-passphrase re-seals a stored credential under a
+// new pass phrase.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-change-passphrase", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	credName := fs.String("k", "", "credential name")
+	fs.Parse(os.Args[1:])
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-change-passphrase: -l username is required")
+	}
+	client, err := cf.BuildClient("credential key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-change-passphrase: %v", err)
+	}
+	oldPass, err := cliutil.PromptPassphrase("current MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-change-passphrase: %v", err)
+	}
+	newPass, err := cliutil.PromptNewPassphrase("new MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-change-passphrase: %v", err)
+	}
+	if err := client.ChangePassphrase(context.Background(), *cf.Username, oldPass, newPass, *credName); err != nil {
+		cliutil.Fatalf("myproxy-change-passphrase: %v", err)
+	}
+	fmt.Println("Pass phrase changed")
+}

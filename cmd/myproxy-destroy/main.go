@@ -1,0 +1,35 @@
+// Command myproxy-destroy removes credentials from the repository
+// (paper §4.1: "The user can also, at any point, use the myproxy-destroy
+// client program to destroy any credentials they previously delegated").
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-destroy", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	credName := fs.String("k", "", "credential name")
+	fs.Parse(os.Args[1:])
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-destroy: -l username is required")
+	}
+	client, err := cf.BuildClient("credential key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-destroy: %v", err)
+	}
+	pass, err := cliutil.PromptPassphrase("MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-destroy: %v", err)
+	}
+	if err := client.Destroy(context.Background(), *cf.Username, pass, *credName); err != nil {
+		cliutil.Fatalf("myproxy-destroy: %v", err)
+	}
+	fmt.Printf("MyProxy credential for user %s was successfully removed\n", *cf.Username)
+}

@@ -1,0 +1,79 @@
+// Command myproxy-get-delegation retrieves a short-lived delegated proxy
+// from the MyProxy repository using the user identity and pass phrase
+// (paper Fig. 2, §4.2). Portals run the equivalent library call on behalf
+// of browser users (§4.3).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/otp"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-get-delegation", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	hours := fs.Float64("t", 2, "lifetime of the delegated proxy in hours (paper §4.3: 'a few hours')")
+	out := fs.String("o", cliutil.DefaultProxyPath(), "output proxy file")
+	credName := fs.String("k", "", "credential name")
+	taskHint := fs.String("task", "", "task hint for wallet selection (paper §6.2)")
+	renewal := fs.Bool("renewal", false, "renew: authenticate with the expiring proxy instead of a pass phrase (paper §6.6)")
+	fs.Parse(os.Args[1:])
+
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-get-delegation: -l username is required")
+	}
+	client, err := cf.BuildClient("credential key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-get-delegation: %v", err)
+	}
+	opts := core.GetOptions{
+		Username: *cf.Username,
+		Lifetime: time.Duration(*hours * float64(time.Hour)),
+		CredName: *credName,
+		TaskHint: *taskHint,
+		Renewal:  *renewal,
+	}
+	if !*renewal {
+		pass, err := cliutil.PromptPassphrase("MyProxy pass phrase")
+		if err != nil {
+			cliutil.Fatalf("myproxy-get-delegation: %v", err)
+		}
+		opts.Passphrase = pass
+	}
+	cred, err := client.Get(context.Background(), opts)
+	var otpErr *core.ErrOTPRequired
+	if errors.As(err, &otpErr) {
+		// The server demands a one-time password (paper §6.3): show the
+		// challenge and read the response.
+		fmt.Fprintf(os.Stderr, "server challenge: %s\n", otpErr.Challenge)
+		resp, perr := cliutil.PromptPassphrase("one-time password (16 hex digits), or OTP secret to compute it")
+		if perr != nil {
+			cliutil.Fatalf("myproxy-get-delegation: %v", perr)
+		}
+		// Accept either a precomputed response or the secret itself.
+		opts.OTP = resp
+		if len(resp) != 16 {
+			computed, cerr := otp.Respond(otpErr.Challenge, resp)
+			if cerr == nil {
+				opts.OTP = computed
+			}
+		}
+		cred, err = client.Get(context.Background(), opts)
+	}
+	if err != nil {
+		cliutil.Fatalf("myproxy-get-delegation: %v", err)
+	}
+	if err := cred.SaveCredential(*out, nil); err != nil {
+		cliutil.Fatalf("myproxy-get-delegation: %v", err)
+	}
+	fmt.Printf("A proxy has been received for user %s in %s, valid until %s\n",
+		*cf.Username, *out, cred.Certificate.NotAfter.Local().Format(time.RFC1123))
+}

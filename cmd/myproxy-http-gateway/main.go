@@ -1,0 +1,81 @@
+// Command myproxy-http-gateway serves the repository over HTTPS+JSON — the
+// paper's §6.4 "more standard protocols" direction. It can share a store
+// directory with myproxy-server so both protocol frontends expose the same
+// credentials.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/credstore"
+	"repro/internal/httpgate"
+	"repro/internal/pki"
+	"repro/internal/policy"
+)
+
+func main() {
+	listen := flag.String("listen", ":7513", "HTTPS listen address")
+	credFile := flag.String("cred", "myproxy-host.pem", "gateway host credential")
+	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
+	storeDir := flag.String("store", "myproxy-store", "credential store directory (shareable with myproxy-server)")
+	acceptedFile := flag.String("accepted", "", "accepted_credentials ACL file; required")
+	retrieversFile := flag.String("retrievers", "", "authorized_retrievers ACL file; required")
+	maxDelegHours := flag.Int("max-proxy-hours", 12, "maximum delegated proxy lifetime")
+	kdfIter := flag.Int("kdf-iter", pki.DefaultKDFIterations, "PBKDF2 iterations for sealing")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "myproxy-http-gateway: ", log.LstdFlags)
+	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+	roots, err := cliutil.LoadRoots(*caFile)
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+	loadACL := func(path, what string) *policy.ACL {
+		if path == "" {
+			cliutil.Fatalf("myproxy-http-gateway: -%s is required", what)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cliutil.Fatalf("myproxy-http-gateway: %v", err)
+		}
+		acl, err := policy.ParseACLFile(data)
+		if err != nil {
+			cliutil.Fatalf("myproxy-http-gateway: %s: %v", path, err)
+		}
+		return acl
+	}
+	store, err := credstore.NewFileStore(*storeDir)
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+	g, err := httpgate.New(core.ServerConfig{
+		Credential:           cred,
+		Roots:                roots,
+		Store:                store,
+		AcceptedCredentials:  loadACL(*acceptedFile, "accepted"),
+		AuthorizedRetrievers: loadACL(*retrieversFile, "retrievers"),
+		Lifetimes:            policy.LifetimePolicy{MaxDelegated: time.Duration(*maxDelegHours) * time.Hour},
+		KDFIterations:        *kdfIter,
+		Logger:               logger,
+	})
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+	logger.Printf("gateway %s serving HTTPS+JSON on %s (store %s)", cred.Subject(), *listen, *storeDir)
+	if err := g.Serve(ln); err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
+}

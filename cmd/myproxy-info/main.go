@@ -1,0 +1,60 @@
+// Command myproxy-info lists the credentials the repository holds for a
+// user identity and the policies attached to them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-info", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	fs.Parse(os.Args[1:])
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-info: -l username is required")
+	}
+	client, err := cf.BuildClient("credential key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-info: %v", err)
+	}
+	pass, err := cliutil.PromptPassphrase("MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-info: %v", err)
+	}
+	infos, err := client.Info(context.Background(), *cf.Username, pass)
+	if err != nil {
+		cliutil.Fatalf("myproxy-info: %v", err)
+	}
+	fmt.Printf("username: %s\nserver:   %s\n", *cf.Username, client.Addr)
+	for _, ci := range infos {
+		name := ci.Name
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Printf("credential %s:\n", name)
+		fmt.Printf("  owner:      %s\n", ci.Owner)
+		if ci.Description != "" {
+			fmt.Printf("  desc:       %s\n", ci.Description)
+		}
+		fmt.Printf("  valid:      %s .. %s (%s left)\n",
+			ci.StartTime.Local().Format(time.RFC3339),
+			ci.EndTime.Local().Format(time.RFC3339),
+			time.Until(ci.EndTime).Round(time.Minute))
+		if ci.MaxDelegation != 0 {
+			fmt.Printf("  max deleg:  %s\n", ci.MaxDelegation)
+		}
+		if ci.Retrievers != "" {
+			fmt.Printf("  retrievers: %s\n", ci.Retrievers)
+		}
+		if len(ci.TaskTags) != 0 {
+			fmt.Printf("  tasks:      %s\n", strings.Join(ci.TaskTags, ", "))
+		}
+	}
+}

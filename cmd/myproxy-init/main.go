@@ -1,0 +1,65 @@
+// Command myproxy-init delegates a proxy credential to the MyProxy
+// repository under a user identity and pass phrase (paper Fig. 1, §4.1).
+// Run it from a machine where your long-term credentials (or a proxy made
+// by grid-proxy-init) are available.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-init", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	hours := fs.Float64("c", 7*24, "lifetime of the credential held by the repository, in hours (default one week)")
+	credName := fs.String("k", "", "credential name (for multiple credentials per account, paper §6.2)")
+	desc := fs.String("desc", "", "credential description")
+	retrievers := fs.String("R", "", "DN pattern of clients allowed to retrieve this credential")
+	maxDelegHours := fs.Float64("d", 0, "longest proxy lifetime the repository may delegate from this credential, in hours (paper §4.1 restriction; 0 = server policy)")
+	tags := fs.String("tags", "", "comma-separated task tags for wallet selection (paper §6.2)")
+	renewable := fs.Bool("n", false, "deposit without a pass phrase for renewal by authorized renewers (paper §6.6)")
+	fs.Parse(os.Args[1:])
+
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-init: -l username is required")
+	}
+	client, err := cf.BuildClient("credential key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-init: %v", err)
+	}
+	var pass string
+	if !*renewable {
+		pass, err = cliutil.PromptNewPassphrase("MyProxy pass phrase")
+		if err != nil {
+			cliutil.Fatalf("myproxy-init: %v", err)
+		}
+	}
+	var taskTags []string
+	if *tags != "" {
+		taskTags = strings.Split(*tags, ",")
+	}
+	err = client.Put(context.Background(), core.PutOptions{
+		Username:      *cf.Username,
+		Passphrase:    pass,
+		Lifetime:      time.Duration(*hours * float64(time.Hour)),
+		CredName:      *credName,
+		Description:   *desc,
+		Retrievers:    *retrievers,
+		MaxDelegation: time.Duration(*maxDelegHours * float64(time.Hour)),
+		TaskTags:      taskTags,
+		Renewable:     *renewable,
+	})
+	if err != nil {
+		cliutil.Fatalf("myproxy-init: %v", err)
+	}
+	fmt.Printf("A proxy valid for %.0f hours for user %s now exists on %s\n",
+		*hours, *cf.Username, client.Addr)
+}

@@ -1,0 +1,51 @@
+// Command myproxy-retrieve downloads a long-term credential deposited with
+// myproxy-store and unseals it locally (paper §6.1).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-retrieve", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	credName := fs.String("k", "", "credential name")
+	taskHint := fs.String("task", "", "task hint for wallet selection")
+	out := fs.String("o", "retrieved-credential.pem", "output file")
+	reencrypt := fs.Bool("encrypt", true, "seal the retrieved key on disk with the pass phrase")
+	fs.Parse(os.Args[1:])
+	if *cf.Username == "" {
+		cliutil.Fatalf("myproxy-retrieve: -l username is required")
+	}
+	client, err := cf.BuildClient("authentication key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-retrieve: %v", err)
+	}
+	pass, err := cliutil.PromptPassphrase("MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-retrieve: %v", err)
+	}
+	cred, err := client.Retrieve(context.Background(), core.RetrieveOptions{
+		Username:   *cf.Username,
+		Passphrase: pass,
+		CredName:   *credName,
+		TaskHint:   *taskHint,
+	})
+	if err != nil {
+		cliutil.Fatalf("myproxy-retrieve: %v", err)
+	}
+	var sealWith []byte
+	if *reencrypt {
+		sealWith = []byte(pass)
+	}
+	if err := cred.SaveCredential(*out, sealWith); err != nil {
+		cliutil.Fatalf("myproxy-retrieve: %v", err)
+	}
+	fmt.Printf("Credential %s retrieved to %s\n", cred.Subject(), *out)
+}

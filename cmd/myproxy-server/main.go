@@ -1,0 +1,111 @@
+// Command myproxy-server runs the MyProxy online credential repository
+// (paper §4): it accepts delegated credentials from users, holds them
+// sealed under the user's pass phrase, and delegates short-lived proxies
+// back to authorized clients such as Grid portals.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/credstore"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+)
+
+func main() {
+	listen := flag.String("listen", ":7512", "listen address (7512 is the MyProxy port)")
+	credFile := flag.String("cred", "myproxy-host.pem", "repository host credential")
+	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
+	storeDir := flag.String("store", "myproxy-store", "credential store directory")
+	acceptedFile := flag.String("accepted", "", "accepted_credentials ACL file (who may deposit); required")
+	retrieversFile := flag.String("retrievers", "", "authorized_retrievers ACL file (who may retrieve); required")
+	renewersFile := flag.String("renewers", "", "authorized_renewers ACL file (who may renew); optional")
+	maxStoredHours := flag.Int("max-cred-hours", 168, "maximum stored credential lifetime (default one week, paper §4.3)")
+	maxDelegHours := flag.Int("max-proxy-hours", 12, "maximum delegated proxy lifetime")
+	minPass := flag.Int("min-passphrase", policy.DefaultMinPassphraseLength, "minimum pass phrase length")
+	kdfIter := flag.Int("kdf-iter", pki.DefaultKDFIterations, "PBKDF2 iterations for sealing stored keys")
+	legacyProxies := flag.Bool("legacy-proxies", false, "delegate legacy (CN=proxy) style proxies instead of RFC 3820")
+	crlFile := flag.String("crl", "", "PEM CRL bundle; listed certificates are refused (optional)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "myproxy-server: ", log.LstdFlags)
+
+	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
+	caCerts, roots, err := cliutil.LoadRootCerts(*caFile)
+	if err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
+	loadACL := func(path, what string, required bool) *policy.ACL {
+		if path == "" {
+			if required {
+				cliutil.Fatalf("myproxy-server: -%s is required (the repository is deny-by-default, paper §5.1)", what)
+			}
+			return policy.NewACL()
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cliutil.Fatalf("myproxy-server: %v", err)
+		}
+		acl, err := policy.ParseACLFile(data)
+		if err != nil {
+			cliutil.Fatalf("myproxy-server: %s: %v", path, err)
+		}
+		return acl
+	}
+	accepted := loadACL(*acceptedFile, "accepted", true)
+	retrievers := loadACL(*retrieversFile, "retrievers", true)
+	renewers := loadACL(*renewersFile, "renewers", false)
+
+	store, err := credstore.NewFileStore(*storeDir)
+	if err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
+
+	cfg := core.ServerConfig{
+		Credential:           cred,
+		Roots:                roots,
+		Store:                store,
+		AcceptedCredentials:  accepted,
+		AuthorizedRetrievers: retrievers,
+		AuthorizedRenewers:   renewers,
+		Passphrase:           policy.PassphrasePolicy{MinLength: *minPass},
+		Lifetimes: policy.LifetimePolicy{
+			MaxStored:    time.Duration(*maxStoredHours) * time.Hour,
+			MaxDelegated: time.Duration(*maxDelegHours) * time.Hour,
+		},
+		KDFIterations: *kdfIter,
+		Logger:        logger,
+	}
+	if *legacyProxies {
+		cfg.DelegationProxyType = proxy.Legacy
+	}
+	if *crlFile != "" {
+		crls, err := pki.LoadCRLs(*crlFile)
+		if err != nil {
+			cliutil.Fatalf("myproxy-server: %v", err)
+		}
+		checker, err := pki.NewRevocationChecker(crls, caCerts, time.Now())
+		if err != nil {
+			cliutil.Fatalf("myproxy-server: %v", err)
+		}
+		cfg.IsRevoked = checker.IsRevoked
+		logger.Printf("loaded CRL bundle %s (%d revocation(s))", *crlFile, checker.Count())
+	}
+	srv, err := core.NewServer(cfg)
+	if err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
+	logger.Printf("repository %s listening on %s (store %s)", srv.Identity(), *listen, *storeDir)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+// Command myproxy-store deposits a long-term credential with the
+// repository for safekeeping (paper §6.1). The credential is sealed
+// client-side under the pass phrase: the repository never sees the
+// plaintext private key.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("myproxy-store", flag.ExitOnError)
+	cf := cliutil.RegisterClientFlags(fs, cliutil.DefaultProxyPath())
+	credName := fs.String("k", "", "credential name")
+	storeFile := fs.String("in", "", "credential file to deposit (required)")
+	desc := fs.String("desc", "", "credential description")
+	retrievers := fs.String("R", "", "DN pattern of clients allowed to retrieve")
+	tags := fs.String("tags", "", "comma-separated task tags (paper §6.2)")
+	fs.Parse(os.Args[1:])
+	if *cf.Username == "" || *storeFile == "" {
+		cliutil.Fatalf("myproxy-store: -l username and -in credential file are required")
+	}
+	client, err := cf.BuildClient("authentication key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-store: %v", err)
+	}
+	toStore, err := cliutil.LoadCredential(*storeFile, "pass phrase for the credential being stored")
+	if err != nil {
+		cliutil.Fatalf("myproxy-store: %v", err)
+	}
+	pass, err := cliutil.PromptNewPassphrase("MyProxy pass phrase")
+	if err != nil {
+		cliutil.Fatalf("myproxy-store: %v", err)
+	}
+	var taskTags []string
+	if *tags != "" {
+		taskTags = strings.Split(*tags, ",")
+	}
+	if err := client.Store(context.Background(), core.StoreOptions{
+		Username:    *cf.Username,
+		Passphrase:  pass,
+		CredName:    *credName,
+		Credential:  toStore,
+		Description: *desc,
+		Retrievers:  *retrievers,
+		TaskTags:    taskTags,
+	}); err != nil {
+		cliutil.Fatalf("myproxy-store: %v", err)
+	}
+	fmt.Printf("Credential %s stored for user %s (sealed client-side)\n", toStore.Subject(), *cf.Username)
+}

@@ -1,0 +1,63 @@
+// Command portal-server runs the Grid portal of paper §4.3 / Figure 3: a
+// web server that authenticates browser users through MyProxy, holds their
+// delegated credentials per session, and drives Grid services (GRAM jobs,
+// mass storage) on their behalf.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/portal"
+)
+
+func main() {
+	listen := flag.String("listen", ":8443", "HTTPS listen address")
+	credFile := flag.String("cred", "portal-host.pem", "portal host credential")
+	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
+	myproxyAddr := flag.String("myproxy", "localhost:7512", "MyProxy repository address")
+	myproxyDN := flag.String("myproxydn", "*", "expected repository identity (DN pattern)")
+	allowUserRepos := flag.Bool("user-repos", false, "let users name an alternate repository at login (paper §4.3)")
+	gramAddr := flag.String("gram", "", "GRAM job manager address (optional)")
+	mssAddr := flag.String("mss", "", "mass storage address (optional)")
+	sessionHours := flag.Float64("session-hours", 8, "maximum web session lifetime")
+	proxyHours := flag.Float64("proxy-hours", 2, "delegated proxy lifetime requested at login")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "portal: ", log.LstdFlags)
+	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
+	if err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
+	roots, err := cliutil.LoadRoots(*caFile)
+	if err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
+	p, err := portal.New(portal.Config{
+		Credential:      cred,
+		Roots:           roots,
+		MyProxyAddr:     *myproxyAddr,
+		ExpectedMyProxy: *myproxyDN,
+		AllowUserRepos:  *allowUserRepos,
+		GRAMAddr:        *gramAddr,
+		MSSAddr:         *mssAddr,
+		SessionLifetime: time.Duration(*sessionHours * float64(time.Hour)),
+		ProxyLifetime:   time.Duration(*proxyHours * float64(time.Hour)),
+		Logger:          logger,
+	})
+	if err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
+	logger.Printf("portal %s serving HTTPS on %s (repository %s)", cred.Subject(), *listen, *myproxyAddr)
+	if err := p.Serve(ln); err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "An Online Credential
+// Repository for the Grid: MyProxy" (Novotny, Tuecke, Welch, HPDC 2001).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), the command-line tools under cmd/, runnable scenarios under
+// examples/, and the per-figure benchmark harness in bench_test.go with
+// results recorded in EXPERIMENTS.md.
+package repro

@@ -1,0 +1,139 @@
+// Long-running job example: credential renewal (paper §6.6, Condor-G).
+//
+// A computational job receives a proxy that is shorter than its running
+// time. Instead of e-mailing the user to refresh it (the Condor-G approach
+// the paper calls inconvenient), a renewal agent authenticates to the
+// MyProxy repository with the job's own expiring proxy and swaps in a
+// fresh delegation — no pass phrase, no user.
+//
+//	go run ./examples/longrunning
+package main
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/renewal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	ca, err := pki.NewCA(pki.CAConfig{
+		Name: pki.MustParseDN("/C=US/O=Renewal Grid/CN=Renewal CA"), KeyBits: 1024,
+	})
+	if err != nil {
+		return err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Certificate())
+	base := pki.MustParseDN("/C=US/O=Renewal Grid")
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+
+	// Repository configured with an authorized_renewers ACL (§6.6).
+	repo, err := core.NewServer(core.ServerConfig{
+		Credential:           repoHost,
+		Roots:                roots,
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Renewal Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("/C=US/O=Renewal Grid/*"),
+		AuthorizedRenewers:   policy.NewACL("/C=US/O=Renewal Grid/*"),
+		DelegationKeyBits:    1024,
+		KDFIterations:        4096,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go repo.Serve(ln)
+	defer repo.Close()
+
+	// Alice deposits a *renewable* credential (myproxy-init -n): no pass
+	// phrase, renewable only by her own identity via the renewer ACL.
+	aliceClient := &core.Client{
+		Credential: alice, Roots: roots, Addr: ln.Addr().String(),
+		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+	}
+	if err := aliceClient.Put(ctx, core.PutOptions{
+		Username: "alice", Renewable: true, Lifetime: 24 * time.Hour,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("alice deposited a renewable credential (myproxy-init -n)")
+
+	// The job starts with a proxy much shorter than its runtime.
+	jobProxy, err := proxy.New(alice, proxy.Options{Lifetime: 20 * time.Minute, KeyBits: 1024})
+	if err != nil {
+		return err
+	}
+	holder := renewal.NewHolder(jobProxy)
+	fmt.Printf("job started with a %v proxy; the job will run for hours\n",
+		holder.TimeLeft().Round(time.Minute))
+
+	renewer, err := renewal.New(renewal.Config{
+		Holder: holder,
+		NewClient: func(cred *pki.Credential) *core.Client {
+			return &core.Client{
+				Credential: cred, Roots: roots, Addr: ln.Addr().String(),
+				ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+			}
+		},
+		Username:  "alice",
+		Threshold: 30 * time.Minute, // renew when < 30m remain
+		Lifetime:  2 * time.Hour,
+		OnRenew: func(cred *pki.Credential) {
+			fmt.Printf("renewal agent: fresh proxy installed, %v left\n",
+				cred.TimeLeft().Round(time.Minute))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Simulate the job's work loop: each "hour" of work checks the
+	// credential, exactly as a Condor-G shadow would.
+	for step := 1; step <= 3; step++ {
+		renewed, err := renewer.MaybeRenew(ctx)
+		if err != nil {
+			return fmt.Errorf("work step %d: %w", step, err)
+		}
+		fmt.Printf("work step %d: credential has %v left (renewed this step: %v)\n",
+			step, holder.TimeLeft().Round(time.Minute), renewed)
+		// The working credential is always valid for Grid calls here —
+		// e.g. writing checkpoints to mass storage as the user.
+		if holder.TimeLeft() <= 0 {
+			return fmt.Errorf("job lost its credential at step %d", step)
+		}
+	}
+
+	// The renewed chain still authenticates as Alice.
+	res, err := proxy.Verify(holder.Credential().CertChain(), proxy.VerifyOptions{Roots: roots})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final working identity: %s (depth %d)\n", res.IdentityString(), res.Depth)
+	return nil
+}

@@ -1,0 +1,222 @@
+// Portal example: the paper's motivating scenario (Figure 3) end to end.
+//
+// It stands up a complete miniature Grid — CA, MyProxy repository, GRAM
+// job manager, mass storage, and an HTTPS Grid portal — then plays the
+// user's part with a plain HTTP client (the "standard web browser" of
+// paper §3.1): log in with identity + pass phrase, submit a job that
+// stores its result to mass storage via chained delegation, fetch the
+// result through the portal, and log out.
+//
+//	go run ./examples/portal
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gram"
+	"repro/internal/gsi"
+	"repro/internal/mss"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/portal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// --- Build the Grid -------------------------------------------------
+	ca, err := pki.NewCA(pki.CAConfig{
+		Name: pki.MustParseDN("/C=US/O=Portal Grid/CN=Portal CA"), KeyBits: 1024,
+	})
+	if err != nil {
+		return err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Certificate())
+	base := pki.MustParseDN("/C=US/O=Portal Grid")
+
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	gridmap := gsi.NewGridmap()
+	gridmap.Add(alice.Subject(), "alice")
+
+	host := func(name string) *pki.Credential {
+		cred, err := ca.IssueHostCredential(base, name, 365*24*time.Hour, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cred
+	}
+	listen := func() net.Listener {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ln
+	}
+
+	repo, err := core.NewServer(core.ServerConfig{
+		Credential:           host("myproxy.example.org"),
+		Roots:                roots,
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Portal Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("*/CN=portal.example.org"), // only the portal may retrieve (§5.1)
+		DelegationKeyBits:    1024,
+		KDFIterations:        4096,
+	})
+	if err != nil {
+		return err
+	}
+	repoLn := listen()
+	go repo.Serve(repoLn)
+	defer repo.Close()
+
+	gramSrv, err := gram.NewServer(gram.Config{Credential: host("gram.example.org"), Roots: roots, Gridmap: gridmap})
+	if err != nil {
+		return err
+	}
+	gramLn := listen()
+	go gramSrv.Serve(gramLn)
+	defer gramSrv.Close()
+
+	mssSrv, err := mss.NewServer(mss.Config{Credential: host("mss.example.org"), Roots: roots, Gridmap: gridmap})
+	if err != nil {
+		return err
+	}
+	mssLn := listen()
+	go mssSrv.Serve(mssLn)
+	defer mssSrv.Close()
+
+	p, err := portal.New(portal.Config{
+		Credential:      host("portal.example.org"),
+		Roots:           roots,
+		MyProxyAddr:     repoLn.Addr().String(),
+		ExpectedMyProxy: "*/CN=myproxy.example.org",
+		GRAMAddr:        gramLn.Addr().String(),
+		MSSAddr:         mssLn.Addr().String(),
+		KeyBits:         1024,
+	})
+	if err != nil {
+		return err
+	}
+	portalLn := listen()
+	go p.Serve(portalLn)
+	defer portalLn.Close()
+	fmt.Println("grid up: repository, GRAM, MSS, portal")
+
+	// --- myproxy-init, done once from the user's workstation ------------
+	userClient := &core.Client{
+		Credential: alice, Roots: roots, Addr: repoLn.Addr().String(),
+		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+	}
+	if err := userClient.Put(ctx, core.PutOptions{
+		Username: "alice", Passphrase: "portal demo pass", Lifetime: 24 * time.Hour,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("alice ran myproxy-init from her workstation")
+
+	// --- Now, from an airport kiosk: just a browser ---------------------
+	jar, _ := cookiejar.New(nil)
+	browser := &http.Client{
+		Jar: jar,
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: roots, ServerName: "portal.example.org"},
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, portalLn.Addr().String())
+			},
+		},
+	}
+	portalURL := "https://portal.example.org"
+
+	// Step 1 (Fig. 3): send authentication data to the portal.
+	resp, err := browser.PostForm(portalURL+"/api/login", url.Values{
+		"username": {"alice"}, "passphrase": {"portal demo pass"}, "lifetime": {"2h"},
+	})
+	if err != nil {
+		return err
+	}
+	loginBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("login failed: %s", loginBody)
+	}
+	fmt.Printf("browser login OK (steps 2-3 happened behind the portal): %s\n", loginBody)
+
+	// Submit a job that stores its result to mass storage using a proxy
+	// delegated onward to the job (§2.4 chained delegation).
+	resp, err = browser.PostForm(portalURL+"/api/submit", url.Values{
+		"executable": {"store-result"},
+		"args":       {mssLn.Addr().String() + " simulation.out final-answer=42"},
+		"delegate":   {"1"},
+	})
+	if err != nil {
+		return err
+	}
+	var job gram.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s (%s), delegated=%v\n", job.ID, job.Executable, job.Delegated)
+
+	// Poll until done.
+	for job.State == gram.StatePending || job.State == gram.StateActive {
+		time.Sleep(10 * time.Millisecond)
+		resp, err = browser.Get(portalURL + "/api/jobs?id=" + job.ID)
+		if err != nil {
+			return err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			return err
+		}
+		resp.Body.Close()
+	}
+	if job.State != gram.StateDone {
+		return fmt.Errorf("job failed: %s", job.Error)
+	}
+	fmt.Printf("job done as local user %q: %s\n", job.LocalUser, job.Output)
+
+	// Fetch the stored result back through the portal.
+	resp, err = browser.Get(portalURL + "/api/file?name=simulation.out")
+	if err != nil {
+		return err
+	}
+	result, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("result fetched through portal: %q\n", result)
+
+	// Log out: the portal deletes the delegated credential (§4.3).
+	resp, err = browser.PostForm(portalURL+"/api/logout", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	resp, err = browser.Get(portalURL + "/api/whoami")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Printf("after logout, whoami -> HTTP %d (session and credential gone)\n", resp.StatusCode)
+	return nil
+}

@@ -1,0 +1,135 @@
+// Quickstart: the MyProxy core loop in one process.
+//
+// It builds a tiny Grid from scratch — a CA, a user credential, a MyProxy
+// repository — then runs the paper's two figures: myproxy-init (Fig. 1)
+// delegates the user's credential to the repository, and
+// myproxy-get-delegation (Fig. 2) retrieves a fresh short-lived proxy with
+// only the user identity and pass phrase.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// 1. A certificate authority and the trust roots (paper §2.1).
+	ca, err := pki.NewCA(pki.CAConfig{
+		Name:    pki.MustParseDN("/C=US/O=Quickstart Grid/CN=Quickstart CA"),
+		KeyBits: 1024, // small keys keep the demo snappy
+	})
+	if err != nil {
+		return err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Certificate())
+	fmt.Println("CA:        ", ca.SubjectDN())
+
+	// 2. A user with a long-term credential, and the repository's own
+	//    host credential.
+	base := pki.MustParseDN("/C=US/O=Quickstart Grid")
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	fmt.Println("user:      ", alice.Subject())
+
+	// 3. The MyProxy repository (paper §4), with its two ACLs (§5.1).
+	repo, err := core.NewServer(core.ServerConfig{
+		Credential:           repoHost,
+		Roots:                roots,
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Quickstart Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("/C=US/O=Quickstart Grid/*"),
+		DelegationKeyBits:    1024,
+		KDFIterations:        4096,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go repo.Serve(ln)
+	defer repo.Close()
+	fmt.Println("repository:", repo.Identity(), "on", ln.Addr())
+
+	// 4. myproxy-init (paper Fig. 1): Alice delegates a week-long proxy
+	//    to the repository under a memorable identity + pass phrase.
+	aliceClient := &core.Client{
+		Credential:     alice,
+		Roots:          roots,
+		Addr:           ln.Addr().String(),
+		ExpectedServer: "*/CN=myproxy.example.org",
+		KeyBits:        1024,
+	}
+	if err := aliceClient.Put(ctx, core.PutOptions{
+		Username:   "alice",
+		Passphrase: "quickstart pass phrase",
+		Lifetime:   7 * 24 * time.Hour,
+	}); err != nil {
+		return fmt.Errorf("myproxy-init: %w", err)
+	}
+	fmt.Println("\nmyproxy-init: credential delegated to the repository")
+
+	// 5. Later — from anywhere, without Alice's long-term key —
+	//    myproxy-get-delegation (paper Fig. 2) retrieves a fresh proxy.
+	anywhere, err := ca.IssueHostCredential(base, "kiosk.example.org", 24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	kioskClient := &core.Client{
+		Credential:     anywhere,
+		Roots:          roots,
+		Addr:           ln.Addr().String(),
+		ExpectedServer: "*/CN=myproxy.example.org",
+		KeyBits:        1024,
+	}
+	cred, err := kioskClient.Get(ctx, core.GetOptions{
+		Username:   "alice",
+		Passphrase: "quickstart pass phrase",
+		Lifetime:   2 * time.Hour,
+	})
+	if err != nil {
+		return fmt.Errorf("myproxy-get-delegation: %w", err)
+	}
+
+	// 6. The retrieved proxy authenticates as Alice.
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: roots})
+	if err != nil {
+		return err
+	}
+	fmt.Println("myproxy-get-delegation: received proxy")
+	fmt.Println("  subject: ", cred.Subject())
+	fmt.Println("  identity:", res.IdentityString())
+	fmt.Println("  depth:   ", res.Depth, "delegation hops")
+	fmt.Println("  lifetime:", cred.TimeLeft().Round(time.Minute))
+
+	stats := repo.Stats().Snapshot()
+	fmt.Printf("\nrepository stats: %d put, %d get, %d auth failures\n",
+		stats["puts"], stats["gets"], stats["auth_failures"])
+	return nil
+}

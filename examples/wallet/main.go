@@ -1,0 +1,183 @@
+// Wallet example: multiple credentials, task-based selection, and
+// OTP-protected retrieval (paper §6.2 and §6.3).
+//
+// Alice holds credentials from two different CAs (her university and a
+// national facility). The wallet stores both, selects the right one per
+// task, uploads them to the repository tagged by task, and the repository
+// performs the same selection remotely. Retrieval is protected by RFC 2289
+// one-time passwords, so a captured pass phrase cannot be replayed.
+//
+//	go run ./examples/wallet
+package main
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/otp"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/wallet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Two independent CAs — the §6.2 premise: "as the number of
+	// organizations and CAs grow it is inevitable that users will end up
+	// with multiple credentials".
+	uniCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=State University/CN=Campus CA"), KeyBits: 1024})
+	if err != nil {
+		return err
+	}
+	labCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=National Lab/CN=Lab CA"), KeyBits: 1024})
+	if err != nil {
+		return err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(uniCA.Certificate())
+	roots.AddCert(labCA.Certificate())
+
+	campusCred, err := uniCA.IssueCredential(
+		pki.MustParseDN("/C=US/O=State University/OU=Physics/CN=Alice Example"), 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	labCred, err := labCA.IssueCredential(
+		pki.MustParseDN("/C=US/O=National Lab/OU=Computing/CN=Alice Example"), 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+
+	// --- Local wallet ----------------------------------------------------
+	w := wallet.New()
+	if err := w.Add(&wallet.Entry{
+		Name: "campus", Credential: campusCred,
+		Tags: []string{"file-read", "file-write"}, Description: "campus storage identity",
+	}); err != nil {
+		return err
+	}
+	if err := w.Add(&wallet.Entry{
+		Name: "lab", Credential: labCred,
+		Tags: []string{"job-submit"}, Description: "national lab compute identity",
+	}); err != nil {
+		return err
+	}
+	fmt.Println("wallet holds:", w.Names())
+	for _, task := range []string{"job-submit", "file-write"} {
+		e, err := w.SelectForTask(task, time.Now())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  local selection for %-11s -> %s (%s)\n", task, e.Name, e.Credential.Subject())
+	}
+
+	// Persist the wallet sealed under one pass phrase.
+	dir, err := saveToTemp(w)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wallet saved (sealed) to", dir)
+
+	// --- Repository with OTP-protected retrieval -------------------------
+	registry := otp.NewRegistry()
+	repoHost, err := labCA.IssueHostCredential(pki.MustParseDN("/C=US/O=National Lab"), "myproxy.example.org", 365*24*time.Hour, 1024)
+	if err != nil {
+		return err
+	}
+	repo, err := core.NewServer(core.ServerConfig{
+		Credential:           repoHost,
+		Roots:                roots,
+		AcceptedCredentials:  policy.NewACL("*/CN=Alice Example"),
+		AuthorizedRetrievers: policy.NewACL("*"),
+		OTP:                  registry,
+		DelegationKeyBits:    1024,
+		KDFIterations:        4096,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go repo.Serve(ln)
+	defer repo.Close()
+
+	// Upload every wallet credential, tagged for server-side selection.
+	newClient := func(cred *pki.Credential) *core.Client {
+		return &core.Client{
+			Credential: cred, Roots: roots, Addr: ln.Addr().String(),
+			ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+		}
+	}
+	pass := "wallet demo pass phrase"
+	if err := w.UploadAll(ctx, newClient, "alice", pass, 12*time.Hour); err != nil {
+		return err
+	}
+	fmt.Println("wallet uploaded to the repository (myproxy-init per credential)")
+
+	// Enable OTP for alice: the repository stores only H^100.
+	otpSecret := "alice otp secret"
+	if err := registry.Register("alice", otp.SHA1, otpSecret, "wallet7", 100); err != nil {
+		return err
+	}
+
+	// A portal asks for "the credential for submitting jobs".
+	portalCli := newClient(campusCred)
+	_, err = portalCli.Get(ctx, core.GetOptions{
+		Username: "alice", Passphrase: pass, TaskHint: "job-submit",
+	})
+	var challenge *core.ErrOTPRequired
+	if !errors.As(err, &challenge) {
+		return fmt.Errorf("expected an OTP challenge, got %v", err)
+	}
+	fmt.Println("repository demands a one-time password:", challenge.Challenge)
+
+	cred, err := portalCli.Get(ctx, core.GetOptions{
+		Username: "alice", Passphrase: pass, TaskHint: "job-submit", OTPSecret: otpSecret,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: roots})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server-side selection for job-submit -> identity %s\n", res.IdentityString())
+	if res.IdentityString() != labCred.Subject() {
+		return fmt.Errorf("wrong credential selected")
+	}
+
+	// Replaying the same captured OTP fails.
+	usedOTP, _ := otp.Respond(challenge.Challenge, otpSecret)
+	if _, err := portalCli.Get(ctx, core.GetOptions{
+		Username: "alice", Passphrase: pass, TaskHint: "job-submit", OTP: usedOTP,
+	}); err == nil {
+		return fmt.Errorf("replayed OTP accepted")
+	}
+	fmt.Println("replay of the captured one-time password: rejected (§6.3)")
+	return nil
+}
+
+func saveToTemp(w *wallet.Wallet) (string, error) {
+	dir, err := os.MkdirTemp("", "wallet-example-")
+	if err != nil {
+		return "", err
+	}
+	return dir, w.Save(dir, []byte("wallet file pass phrase"))
+}

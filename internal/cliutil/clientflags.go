@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ClientFlags bundles the flags every myproxy-* client tool shares.
+type ClientFlags struct {
+	Server     *string
+	Cred       *string
+	CAFile     *string
+	ServerDN   *string
+	Username   *string
+	TimeoutSec *int
+}
+
+// RegisterClientFlags installs the shared client flags on fs. defaultCred
+// is the tool's default credential path (the user proxy for myproxy-init,
+// etc.).
+func RegisterClientFlags(fs *flag.FlagSet, defaultCred string) *ClientFlags {
+	return &ClientFlags{
+		Server:     fs.String("s", "localhost:7512", "myproxy server address (host:port)"),
+		Cred:       fs.String("cred", defaultCred, "credential file used to authenticate to the server"),
+		CAFile:     fs.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle"),
+		ServerDN:   fs.String("serverdn", "*", "expected server identity (DN pattern)"),
+		Username:   fs.String("l", "", "MyProxy user identity (required)"),
+		TimeoutSec: fs.Int("timeout", 30, "operation timeout in seconds"),
+	}
+}
+
+// BuildClient loads the credential and roots and assembles the client.
+func (cf *ClientFlags) BuildClient(keyPrompt string) (*core.Client, error) {
+	cred, err := LoadCredential(*cf.Cred, keyPrompt)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := LoadRoots(*cf.CAFile)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Client{
+		Credential:     cred,
+		Roots:          roots,
+		Addr:           *cf.Server,
+		ExpectedServer: *cf.ServerDN,
+		Timeout:        time.Duration(*cf.TimeoutSec) * time.Second,
+	}, nil
+}

@@ -1,0 +1,152 @@
+// Package cliutil holds the shared plumbing of the command-line tools:
+// credential and trust-root loading, pass-phrase prompting, and the default
+// Globus-style file locations.
+package cliutil
+
+import (
+	"bufio"
+	"crypto/x509"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/pki"
+)
+
+// DefaultProxyPath is where grid-proxy-init writes and the MyProxy clients
+// read the user's proxy: /tmp/x509up_u<uid>, the Globus convention.
+func DefaultProxyPath() string {
+	return filepath.Join(os.TempDir(), fmt.Sprintf("x509up_u%d", os.Getuid()))
+}
+
+// DefaultUserCertPath/DefaultUserKeyPath follow ~/.globus.
+func DefaultUserCertPath() string {
+	home, _ := os.UserHomeDir()
+	return filepath.Join(home, ".globus", "usercert.pem")
+}
+
+// DefaultUserKeyPath is the long-term key location.
+func DefaultUserKeyPath() string {
+	home, _ := os.UserHomeDir()
+	return filepath.Join(home, ".globus", "userkey.pem")
+}
+
+// LoadRoots reads one or more PEM CA certificates from path into a pool.
+func LoadRoots(path string) (*x509.CertPool, error) {
+	_, pool, err := LoadRootCerts(path)
+	return pool, err
+}
+
+// LoadRootCerts reads the CA bundle and returns both the raw certificates
+// (needed e.g. to verify CRL signatures) and a pool built from them.
+func LoadRootCerts(path string) ([]*x509.Certificate, *x509.CertPool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("read trusted CAs: %w", err)
+	}
+	certs, err := pki.DecodeCertsPEM(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse trusted CAs: %w", err)
+	}
+	pool := x509.NewCertPool()
+	for _, c := range certs {
+		pool.AddCert(c)
+	}
+	return certs, pool, nil
+}
+
+// LoadCredential reads a credential whose key may be sealed; the prompt is
+// shown only when a pass phrase is actually needed.
+func LoadCredential(path, prompt string) (*pki.Credential, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read credential: %w", err)
+	}
+	cred, err := pki.DecodeCredentialPEM(data, nil)
+	if err == nil {
+		return cred, nil
+	}
+	pass, err := PromptPassphrase(prompt)
+	if err != nil {
+		return nil, err
+	}
+	return pki.DecodeCredentialPEM(data, []byte(pass))
+}
+
+// LoadCertKey reads a certificate file and a (possibly sealed) key file.
+func LoadCertKey(certPath, keyPath, prompt string) (*pki.Credential, error) {
+	certData, err := os.ReadFile(certPath)
+	if err != nil {
+		return nil, fmt.Errorf("read certificate: %w", err)
+	}
+	certs, err := pki.DecodeCertsPEM(certData)
+	if err != nil {
+		return nil, err
+	}
+	keyData, err := os.ReadFile(keyPath)
+	if err != nil {
+		return nil, fmt.Errorf("read key: %w", err)
+	}
+	key, err := pki.DecodeKeyPEM(keyData)
+	if err != nil {
+		pass, perr := PromptPassphrase(prompt)
+		if perr != nil {
+			return nil, perr
+		}
+		key, err = pki.DecryptKeyPEM(keyData, []byte(pass))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &pki.Credential{Certificate: certs[0], PrivateKey: key, Chain: certs[1:]}, nil
+}
+
+// stdinReader is shared so consecutive prompts in one process work; it is
+// created lazily so tests can substitute input first.
+var stdinReader *bufio.Reader
+
+// SetPromptInput redirects pass-phrase prompts to r (tests).
+func SetPromptInput(r interface{ Read([]byte) (int, error) }) {
+	stdinReader = bufio.NewReader(r)
+}
+
+func promptReader() *bufio.Reader {
+	if stdinReader == nil {
+		stdinReader = bufio.NewReader(os.Stdin)
+	}
+	return stdinReader
+}
+
+// PromptPassphrase reads one line from stdin after printing the prompt to
+// stderr. (No terminal echo suppression: the toolchain is stdlib-only.)
+func PromptPassphrase(prompt string) (string, error) {
+	fmt.Fprintf(os.Stderr, "%s: ", prompt)
+	line, err := promptReader().ReadString('\n')
+	if err != nil && line == "" {
+		return "", fmt.Errorf("read pass phrase: %w", err)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// PromptNewPassphrase prompts twice and insists on a match.
+func PromptNewPassphrase(prompt string) (string, error) {
+	first, err := PromptPassphrase(prompt)
+	if err != nil {
+		return "", err
+	}
+	second, err := PromptPassphrase(prompt + " (again)")
+	if err != nil {
+		return "", err
+	}
+	if first != second {
+		return "", fmt.Errorf("pass phrases do not match")
+	}
+	return first, nil
+}
+
+// Fatalf prints to stderr and exits 1.
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

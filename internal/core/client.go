@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/gsi"
+	"repro/internal/otp"
+	"repro/internal/pki"
+	"repro/internal/protocol"
+	"repro/internal/proxy"
+)
+
+// Client talks to a MyProxy repository. It is the library under the
+// myproxy-* command-line tools and the Grid portal (paper §4.4 describes the
+// equivalent C and Java client APIs).
+type Client struct {
+	// Credential authenticates the client: the user's proxy for
+	// myproxy-init, the portal's host credential for
+	// myproxy-get-delegation (paper §4.3 step 2).
+	Credential *pki.Credential
+	// Roots are the trusted CAs for authenticating the repository.
+	Roots *x509.CertPool
+	// Addr is the repository's network address.
+	Addr string
+	// ExpectedServer optionally pins the repository identity (DN pattern);
+	// strongly recommended (paper §5.1 mutual authentication).
+	ExpectedServer string
+	// KeyBits sizes keys generated for incoming delegations; 0 selects
+	// pki.DefaultKeyBits.
+	KeyBits int
+	// ProxyType selects the style of proxy delegated *to* the repository
+	// by Put; the zero value selects proxy.RFC3820.
+	ProxyType proxy.Type
+	// Timeout bounds one operation (0 = 30s).
+	Timeout time.Duration
+	// DialContext optionally overrides the transport dialer (tests,
+	// simulation rigs).
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// ErrOTPRequired is returned (wrapped) when the repository demands a
+// one-time password; the Challenge field carries the server's challenge.
+type ErrOTPRequired struct{ Challenge string }
+
+func (e *ErrOTPRequired) Error() string {
+	return fmt.Sprintf("myproxy server requires one-time password (challenge %q)", e.Challenge)
+}
+
+func (c *Client) connect(ctx context.Context) (*gsi.Conn, error) {
+	if c.Credential == nil {
+		return nil, errors.New("core: client requires a credential")
+	}
+	if c.Roots == nil {
+		return nil, errors.New("core: client requires trust roots")
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	opts := gsi.AuthOptions{
+		Roots:            c.Roots,
+		ExpectedPeer:     c.ExpectedServer,
+		HandshakeTimeout: timeout,
+	}
+	var raw net.Conn
+	var err error
+	if c.DialContext != nil {
+		raw, err = c.DialContext(ctx, "tcp", c.Addr)
+	} else {
+		var d net.Dialer
+		raw, err = d.DialContext(ctx, "tcp", c.Addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s: %w", c.Addr, err)
+	}
+	conn, err := gsi.Client(raw, c.Credential, opts)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
+}
+
+func (c *Client) roundTrip(conn *gsi.Conn, req *protocol.Request) (*protocol.Response, error) {
+	data, err := protocol.MarshalRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.WriteMessage(data); err != nil {
+		return nil, err
+	}
+	respData, err := conn.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("core: read response: %w", err)
+	}
+	resp, err := protocol.ParseResponse(respData)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code == protocol.RespAuthRequired {
+		return nil, &ErrOTPRequired{Challenge: resp.Challenge}
+	}
+	return resp, resp.Err()
+}
+
+// readFinal consumes the post-delegation confirmation.
+func (c *Client) readFinal(conn *gsi.Conn) error {
+	respData, err := conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("core: read final response: %w", err)
+	}
+	resp, err := protocol.ParseResponse(respData)
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// PutOptions parameterizes Put (myproxy-init, paper Fig. 1).
+type PutOptions struct {
+	Username   string
+	Passphrase string
+	// Lifetime of the credential delegated to the repository; 0 selects
+	// the one-week default (paper §4.1).
+	Lifetime time.Duration
+	// CredName names the credential (wallet, §6.2); empty = default.
+	CredName    string
+	Description string
+	// Retrievers narrows which DNs may later retrieve this credential.
+	Retrievers string
+	// MaxDelegation caps proxies the repository may delegate from this
+	// credential (the §4.1 retrieval restriction).
+	MaxDelegation time.Duration
+	// TaskTags label the credential for wallet selection (§6.2).
+	TaskTags []string
+	// Renewable deposits the credential without a pass phrase so that
+	// authorized renewers can refresh long-running jobs (paper §6.6);
+	// Passphrase must be empty.
+	Renewable bool
+}
+
+// Put delegates a proxy of the client's credential to the repository under
+// (Username, Passphrase): the myproxy-init operation of paper Figure 1.
+func (c *Client) Put(ctx context.Context, opts PutOptions) error {
+	lifetime := opts.Lifetime
+	if lifetime <= 0 {
+		lifetime = 7 * 24 * time.Hour
+	}
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := &protocol.Request{
+		Command:       protocol.CmdPut,
+		Username:      opts.Username,
+		Passphrase:    opts.Passphrase,
+		Lifetime:      lifetime,
+		CredName:      opts.CredName,
+		Description:   opts.Description,
+		Retrievers:    opts.Retrievers,
+		MaxDelegation: opts.MaxDelegation,
+		TaskTags:      opts.TaskTags,
+		Renewable:     opts.Renewable,
+	}
+	if _, err := c.roundTrip(conn, req); err != nil {
+		return err
+	}
+	proxyType := c.ProxyType
+	if _, err := gsi.Delegate(conn, c.Credential, proxy.Options{
+		Type:     proxyType,
+		Lifetime: lifetime,
+	}); err != nil {
+		return fmt.Errorf("core: delegate to repository: %w", err)
+	}
+	return c.readFinal(conn)
+}
+
+// GetOptions parameterizes Get (myproxy-get-delegation, paper Fig. 2).
+type GetOptions struct {
+	Username   string
+	Passphrase string
+	// Lifetime of the proxy requested back; 0 selects the server default
+	// ("a few hours", paper §4.3).
+	Lifetime time.Duration
+	// CredName selects a named credential; TaskHint asks the wallet to
+	// choose one (§6.2).
+	CredName string
+	TaskHint string
+	// OTP answers a one-time-password challenge (§6.3). Leave empty on the
+	// first attempt; if the server requires OTP, Get returns
+	// *ErrOTPRequired carrying the challenge, or use OTPSecret to answer
+	// automatically.
+	OTP string
+	// OTPSecret, when non-empty, computes OTP responses from the secret
+	// pass phrase transparently on challenge.
+	OTPSecret string
+	// Renewal requests a pass-phrase-less renewal of a renewable
+	// credential (paper §6.6); the client must authenticate with a proxy
+	// of the stored credential's own identity.
+	Renewal bool
+}
+
+// Get retrieves a delegated proxy credential from the repository: the
+// myproxy-get-delegation operation of paper Figure 2.
+func (c *Client) Get(ctx context.Context, opts GetOptions) (*pki.Credential, error) {
+	cred, err := c.get(ctx, opts)
+	if err == nil {
+		return cred, nil
+	}
+	var otpErr *ErrOTPRequired
+	if errors.As(err, &otpErr) && opts.OTPSecret != "" && opts.OTP == "" {
+		resp, rerr := otp.Respond(otpErr.Challenge, opts.OTPSecret)
+		if rerr != nil {
+			return nil, rerr
+		}
+		opts.OTP = resp
+		return c.get(ctx, opts)
+	}
+	return nil, err
+}
+
+func (c *Client) get(ctx context.Context, opts GetOptions) (*pki.Credential, error) {
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := &protocol.Request{
+		Command:    protocol.CmdGet,
+		Username:   opts.Username,
+		Passphrase: opts.Passphrase,
+		Lifetime:   opts.Lifetime,
+		CredName:   opts.CredName,
+		TaskHint:   opts.TaskHint,
+		OTP:        opts.OTP,
+		Renewal:    opts.Renewal,
+	}
+	if _, err := c.roundTrip(conn, req); err != nil {
+		return nil, err
+	}
+	cred, err := gsi.RequestDelegation(conn, c.KeyBits, c.Roots)
+	if err != nil {
+		return nil, fmt.Errorf("core: receive delegation: %w", err)
+	}
+	if err := c.readFinal(conn); err != nil {
+		return nil, err
+	}
+	return cred, nil
+}
+
+// Info lists the credentials stored under username that the pass phrase
+// authenticates (myproxy-info).
+func (c *Client) Info(ctx context.Context, username, passphrase string) ([]protocol.CredInfo, error) {
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resp, err := c.roundTrip(conn, &protocol.Request{
+		Command: protocol.CmdInfo, Username: username, Passphrase: passphrase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Infos, nil
+}
+
+// Destroy removes a stored credential (myproxy-destroy, paper §4.1).
+func (c *Client) Destroy(ctx context.Context, username, passphrase, credName string) error {
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = c.roundTrip(conn, &protocol.Request{
+		Command: protocol.CmdDestroy, Username: username, Passphrase: passphrase, CredName: credName,
+	})
+	return err
+}
+
+// ChangePassphrase re-seals a stored credential under a new pass phrase
+// (myproxy-change-passphrase).
+func (c *Client) ChangePassphrase(ctx context.Context, username, oldPass, newPass, credName string) error {
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = c.roundTrip(conn, &protocol.Request{
+		Command: protocol.CmdChangePassphrase, Username: username,
+		Passphrase: oldPass, NewPassphrase: newPass, CredName: credName,
+	})
+	return err
+}
+
+// StoreOptions parameterizes Store (myproxy-store, paper §6.1).
+type StoreOptions struct {
+	Username   string
+	Passphrase string
+	CredName   string
+	// Credential is the long-term credential to deposit. It is sealed
+	// client-side under the pass phrase; the repository never sees the
+	// plaintext private key.
+	Credential  *pki.Credential
+	Description string
+	Retrievers  string
+	TaskTags    []string
+}
+
+// Store seals a long-term credential client-side and deposits the opaque
+// container in the repository (paper §6.1: "managing long-term Grid
+// credentials on the user's behalf").
+func (c *Client) Store(ctx context.Context, opts StoreOptions) error {
+	if opts.Credential == nil {
+		return errors.New("core: Store requires a credential")
+	}
+	blob, err := pki.SealBytes(opts.Credential.EncodePEM(), []byte(opts.Passphrase), 0)
+	if err != nil {
+		return err
+	}
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := &protocol.Request{
+		Command:     protocol.CmdStore,
+		Username:    opts.Username,
+		Passphrase:  opts.Passphrase,
+		CredName:    opts.CredName,
+		Description: opts.Description,
+		Retrievers:  opts.Retrievers,
+		TaskTags:    opts.TaskTags,
+	}
+	if _, err := c.roundTrip(conn, req); err != nil {
+		return err
+	}
+	if err := conn.WriteMessage(blob); err != nil {
+		return err
+	}
+	return c.readFinal(conn)
+}
+
+// RetrieveOptions parameterizes Retrieve (myproxy-retrieve, paper §6.1).
+type RetrieveOptions struct {
+	Username   string
+	Passphrase string
+	CredName   string
+	TaskHint   string
+	OTP        string
+	OTPSecret  string
+}
+
+// Retrieve downloads and unseals a long-term credential deposited with
+// Store. Unsealing happens client-side with the pass phrase.
+func (c *Client) Retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Credential, error) {
+	cred, err := c.retrieve(ctx, opts)
+	if err == nil {
+		return cred, nil
+	}
+	var otpErr *ErrOTPRequired
+	if errors.As(err, &otpErr) && opts.OTPSecret != "" && opts.OTP == "" {
+		resp, rerr := otp.Respond(otpErr.Challenge, opts.OTPSecret)
+		if rerr != nil {
+			return nil, rerr
+		}
+		opts.OTP = resp
+		return c.retrieve(ctx, opts)
+	}
+	return nil, err
+}
+
+func (c *Client) retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Credential, error) {
+	conn, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resp, err := c.roundTrip(conn, &protocol.Request{
+		Command:    protocol.CmdRetrieve,
+		Username:   opts.Username,
+		Passphrase: opts.Passphrase,
+		CredName:   opts.CredName,
+		TaskHint:   opts.TaskHint,
+		OTP:        opts.OTP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plain, err := pki.OpenBytes(resp.Blob, []byte(opts.Passphrase))
+	if err != nil {
+		return nil, err
+	}
+	return pki.DecodeCredentialPEM(plain, nil)
+}

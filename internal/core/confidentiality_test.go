@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/testpki"
+)
+
+// recordingConn tees everything written to the network into a buffer, so a
+// test can play the paper's eavesdropper (§5.1: "since sensitive
+// information is transferred between the MyProxy client programs and the
+// server, all data passing to and from the server is encrypted").
+type recordingConn struct {
+	net.Conn
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (c *recordingConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.buf.Write(p)
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (c *recordingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.mu.Lock()
+		c.buf.Write(p[:n])
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+func TestWireCarriesNoPlaintextSecrets(t *testing.T) {
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+
+	var mu sync.Mutex
+	var captured bytes.Buffer
+	cli := newClient(t, alice, addr)
+	cli.DialContext = func(ctx context.Context, network, address string) (net.Conn, error) {
+		var d net.Dialer
+		raw, err := d.DialContext(ctx, network, address)
+		if err != nil {
+			return nil, err
+		}
+		return &recordingConn{Conn: raw, mu: &mu, buf: &captured}, nil
+	}
+
+	secretPass := "wire sniff secret passphrase 9731"
+	if err := cli.Put(context.Background(), PutOptions{
+		Username: "sniffuser", Passphrase: secretPass,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	wire := captured.Bytes()
+	mu.Unlock()
+	if len(wire) == 0 {
+		t.Fatal("nothing captured")
+	}
+	// Neither the pass phrase, nor the username, nor a private key may
+	// appear in cleartext anywhere in the byte stream.
+	for _, secret := range [][]byte{
+		[]byte(secretPass),
+		[]byte("sniffuser"),
+		[]byte("RSA PRIVATE KEY"),
+	} {
+		if bytes.Contains(wire, secret) {
+			t.Errorf("wire contains plaintext %q", secret)
+		}
+	}
+	// Sanity check on the sniffer itself: it does see TLS record bytes.
+	if wire[0] != 0x16 { // TLS handshake record type
+		t.Errorf("capture does not look like TLS (first byte %#x)", wire[0])
+	}
+}

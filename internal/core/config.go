@@ -1,0 +1,93 @@
+// Package core implements the MyProxy online credential repository — the
+// paper's primary contribution (§4): a repository server that accepts
+// delegated proxy credentials (myproxy-init, Fig. 1), delegates short-lived
+// proxies back to authorized clients (myproxy-get-delegation, Fig. 2), and
+// the client library the CLI tools and the Grid portal build on (Fig. 3).
+package core
+
+import (
+	"crypto/x509"
+	"log"
+	"time"
+
+	"repro/internal/credstore"
+	"repro/internal/otp"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+)
+
+// ServerConfig configures a repository server.
+type ServerConfig struct {
+	// Credential is the repository's host credential; clients mutually
+	// authenticate the repository with it (paper §5.1).
+	Credential *pki.Credential
+	// Roots are the CA certificates the repository trusts for client
+	// authentication.
+	Roots *x509.CertPool
+	// Store is the credential store; nil selects an in-memory store.
+	Store credstore.Store
+
+	// AcceptedCredentials lists DN patterns allowed to delegate or store
+	// credentials (paper §5.1, "typically users"). Empty denies all.
+	AcceptedCredentials *policy.ACL
+	// AuthorizedRetrievers lists DN patterns allowed to request
+	// delegations or retrieve credentials (paper §5.1, "typically
+	// portals"). Empty denies all.
+	AuthorizedRetrievers *policy.ACL
+	// AuthorizedRenewers lists DN patterns allowed to renew renewable
+	// credentials without a pass phrase (paper §6.6); renewal additionally
+	// requires that the requester authenticate as the stored credential's
+	// own identity. Empty denies all renewals.
+	AuthorizedRenewers *policy.ACL
+
+	// Passphrase is the pass-phrase quality policy applied at deposit time.
+	Passphrase policy.PassphrasePolicy
+	// Lifetimes bounds stored and delegated credential lifetimes.
+	Lifetimes policy.LifetimePolicy
+
+	// DelegationProxyType selects the proxy style for outgoing delegations
+	// (GET); the zero value selects proxy.RFC3820. Incoming delegations
+	// (PUT) are driven by the client.
+	DelegationProxyType proxy.Type
+
+	// KDFIterations tunes the sealing KDF; 0 selects
+	// pki.DefaultKDFIterations. Experiment E5 sweeps this.
+	KDFIterations int
+	// MaxChainDepth bounds client proxy chains (0 = proxy.DefaultMaxDepth).
+	MaxChainDepth int
+	// RequestTimeout bounds one client session (0 = 30s).
+	RequestTimeout time.Duration
+	// PurgeInterval, when positive, sweeps expired credentials from the
+	// store on this period (see credstore.PurgeExpired).
+	PurgeInterval time.Duration
+	// DelegationKeyBits is the key size the server generates for imported
+	// (PUT) credentials; 0 selects pki.DefaultKeyBits.
+	DelegationKeyBits int
+
+	// OTP, when non-nil, holds one-time-password state per username
+	// (paper §6.3). Users registered in it must answer the current OTP
+	// challenge before GET/RETRIEVE, defeating pass-phrase replay (§5.1).
+	OTP *otp.Registry
+
+	// IsRevoked is an optional revocation hook for client chains.
+	IsRevoked func(*x509.Certificate) bool
+
+	// Logger receives audit lines; nil disables logging.
+	Logger *log.Logger
+	// Now is the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c *ServerConfig) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *ServerConfig) logf(format string, args ...interface{}) {
+	if c.Logger != nil {
+		c.Logger.Printf(format, args...)
+	}
+}

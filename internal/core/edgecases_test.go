@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+func TestChangePassphraseOnStoredBlobRefused(t *testing.T) {
+	// Stored (client-sealed) blobs cannot be resealed server-side: the
+	// server never sees the plaintext. The protocol must say so clearly.
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+	cli := newClient(t, alice, addr)
+	if err := cli.Store(context.Background(), StoreOptions{
+		Username: testUser, Passphrase: testPass, CredName: "blob", Credential: alice,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := cli.ChangePassphrase(context.Background(), testUser, testPass, "a new strong phrase", "blob")
+	if err == nil || !strings.Contains(err.Error(), "sealed client-side") {
+		t.Fatalf("reseal stored blob: %v", err)
+	}
+}
+
+func TestChangePassphraseByNonOwner(t *testing.T) {
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+	mustPut(t, newClient(t, alice, addr), PutOptions{})
+	bob := testpki.User(t, "core-bob")
+	err := newClient(t, bob, addr).ChangePassphrase(context.Background(), testUser, testPass, "another phrase", "")
+	if err == nil {
+		t.Fatal("non-owner changed a pass phrase")
+	}
+}
+
+func TestGetByNameNotFound(t *testing.T) {
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+	mustPut(t, newClient(t, alice, addr), PutOptions{})
+	_, err := newClient(t, testpki.Host(t, "portal.test"), addr).Get(context.Background(), GetOptions{
+		Username: testUser, Passphrase: testPass, CredName: "no-such-name",
+	})
+	if err == nil || !strings.Contains(err.Error(), "no credentials") {
+		t.Fatalf("missing name: %v", err)
+	}
+}
+
+func TestDestroyUnknownCredential(t *testing.T) {
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+	err := newClient(t, alice, addr).Destroy(context.Background(), "ghost", "whatever pass", "")
+	if err == nil {
+		t.Fatal("destroyed nothing successfully")
+	}
+}
+
+func TestInfoUnauthorizedIdentity(t *testing.T) {
+	_, addr := startServer(t, func(cfg *ServerConfig) {
+		cfg.AcceptedCredentials = policy.NewACL("*/CN=core-alice")
+		cfg.AuthorizedRetrievers = policy.NewACL("*/CN=core-alice")
+	})
+	mallory := testpki.User(t, "core-mallory")
+	if _, err := newClient(t, mallory, addr).Info(context.Background(), testUser, testPass); err == nil {
+		t.Fatal("unauthorized INFO succeeded")
+	}
+}
+
+func TestRenewableRejectsPassphrase(t *testing.T) {
+	_, addr := startServer(t, func(cfg *ServerConfig) {
+		cfg.AuthorizedRenewers = policy.NewACL("*")
+	})
+	alice := testpki.User(t, "core-alice")
+	err := newClient(t, alice, addr).Put(context.Background(), PutOptions{
+		Username: testUser, Passphrase: "some pass phrase", Renewable: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "take no pass phrase") {
+		t.Fatalf("renewable with pass phrase: %v", err)
+	}
+}
+
+func TestGetDelegationTypeConfigurable(t *testing.T) {
+	_, addr := startServer(t, func(cfg *ServerConfig) {
+		cfg.DelegationProxyType = proxy.Legacy
+	})
+	alice := testpki.User(t, "core-alice")
+	userCli := newClient(t, alice, addr)
+	// Deposit with a legacy proxy so the stored chain is legacy-style and
+	// the repository's legacy delegation does not mix styles.
+	userCli.ProxyType = proxy.Legacy
+	mustPut(t, userCli, PutOptions{})
+	cred, err := newClient(t, testpki.Host(t, "portal.test"), addr).Get(context.Background(), GetOptions{
+		Username: testUser, Passphrase: testPass,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := cred.SubjectDN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn := dn.CommonName(); cn != "proxy" {
+		t.Errorf("CN = %q, want legacy 'proxy'", cn)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	ctx := context.Background()
+	c := &Client{}
+	if _, err := c.Get(ctx, GetOptions{Username: "x"}); err == nil {
+		t.Error("client without credential worked")
+	}
+	c.Credential = testpki.User(t, "core-alice")
+	if _, err := c.Get(ctx, GetOptions{Username: "x"}); err == nil {
+		t.Error("client without roots worked")
+	}
+	c.Roots = testRoots(t)
+	c.Addr = "127.0.0.1:1" // nothing listens
+	c.Timeout = time.Second
+	if _, err := c.Get(ctx, GetOptions{Username: "x"}); err == nil {
+		t.Error("client dialed nothing successfully")
+	}
+	if err := c.Store(ctx, StoreOptions{Username: "x"}); err == nil {
+		t.Error("store without credential worked")
+	}
+}
+
+func TestStatsSnapshotComplete(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-alice")
+	mustPut(t, newClient(t, alice, addr), PutOptions{})
+	snap := srv.Stats().Snapshot()
+	for _, key := range []string{"connections", "puts", "gets", "auth_failures", "errors",
+		"infos", "destroys", "passphrase_change", "stores", "retrieves"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+	if snap["puts"] != 1 || snap["connections"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestServeAfterCloseRefused(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := listenLoopback(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/credstore"
+	"repro/internal/gsi"
+	"repro/internal/protocol"
+	"repro/internal/proxy"
+)
+
+// serveSession runs one request/response exchange (plus any delegation the
+// command implies) on an authenticated channel.
+func (s *Server) serveSession(conn *gsi.Conn) error {
+	reqData, err := conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("read request: %w", err)
+	}
+	req, err := protocol.ParseRequest(reqData)
+	if err != nil {
+		s.respond(conn, protocol.ErrorResponse("malformed request: %v", err))
+		return err
+	}
+	peer := conn.PeerIdentity()
+	s.cfg.logf("%s %s username=%q cred=%q from %v", peer, req.Command, req.Username, req.CredName, conn.RemoteAddr())
+
+	switch req.Command {
+	case protocol.CmdPut:
+		return s.handlePut(conn, req)
+	case protocol.CmdGet:
+		return s.handleGet(conn, req)
+	case protocol.CmdInfo:
+		return s.handleInfo(conn, req)
+	case protocol.CmdDestroy:
+		return s.handleDestroy(conn, req)
+	case protocol.CmdChangePassphrase:
+		return s.handleChangePassphrase(conn, req)
+	case protocol.CmdStore:
+		return s.handleStore(conn, req)
+	case protocol.CmdRetrieve:
+		return s.handleRetrieve(conn, req)
+	default:
+		s.respond(conn, protocol.ErrorResponse("unsupported command %s", req.Command))
+		return fmt.Errorf("unsupported command %d", int(req.Command))
+	}
+}
+
+func (s *Server) respond(conn *gsi.Conn, resp *protocol.Response) error {
+	return conn.WriteMessage(protocol.MarshalResponse(resp))
+}
+
+// failf logs, counts, and sends an error response. The client-visible text
+// is deliberately generic for authentication failures to avoid oracle
+// behavior; detail goes to the audit log.
+func (s *Server) failf(conn *gsi.Conn, public string, format string, args ...interface{}) error {
+	s.cfg.logf("DENIED %s: %s", conn.PeerIdentity(), fmt.Sprintf(format, args...))
+	s.stats.AuthFailures.Add(1)
+	return s.respond(conn, protocol.ErrorResponse("%s", public))
+}
+
+const (
+	deniedMsg    = "authorization failed"
+	notFoundMsg  = "no credentials found for user"
+	badPhraseMsg = "bad pass phrase or username"
+)
+
+// --- PUT: myproxy-init (paper Fig. 1) ---
+
+func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	if !s.cfg.AcceptedCredentials.Allows(peer) {
+		return s.failf(conn, deniedMsg, "PUT by %s not in accepted_credentials", peer)
+	}
+	// Renewable credentials (paper §6.6) are deposited without a pass
+	// phrase so authorized renewers can refresh long-running jobs; they
+	// are sealed under the empty pass phrase (the myproxy-init -n
+	// trade-off). Everything else must pass the quality policy.
+	if req.Renewable && req.Passphrase != "" {
+		return s.respond(conn, protocol.ErrorResponse("renewable credentials take no pass phrase"))
+	}
+	if !req.Renewable {
+		if err := s.cfg.Passphrase.Check(req.Passphrase); err != nil {
+			// Pass-phrase policy violations are safe (and useful) to surface.
+			s.cfg.logf("DENIED %s: weak pass phrase: %v", peer, err)
+			return s.respond(conn, protocol.ErrorResponse("pass phrase rejected: %v", err))
+		}
+	}
+	lifetime := s.cfg.Lifetimes.ClampStored(req.Lifetime)
+	if err := s.respond(conn, protocol.OKResponse()); err != nil {
+		return err
+	}
+	// Import the credential: the client is the exporter, so the private
+	// key is generated here and never crosses the wire.
+	cred, err := gsi.RequestDelegation(conn, s.cfg.DelegationKeyBits, s.cfg.Roots)
+	if err != nil {
+		s.respond(conn, protocol.ErrorResponse("delegation failed: %v", err))
+		return fmt.Errorf("PUT delegation from %s: %w", peer, err)
+	}
+	// The delegated chain must carry the authenticated peer's identity:
+	// clients may only deposit their own credentials.
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{
+		Roots: s.cfg.Roots, MaxDepth: s.cfg.MaxChainDepth, IsRevoked: s.cfg.IsRevoked,
+	})
+	if err != nil {
+		s.respond(conn, protocol.ErrorResponse("delegated chain invalid: %v", err))
+		return err
+	}
+	if res.IdentityString() != peer {
+		s.respond(conn, protocol.ErrorResponse("delegated identity does not match authenticated identity"))
+		return fmt.Errorf("PUT identity mismatch: chain %s, peer %s", res.IdentityString(), peer)
+	}
+	// Enforce the stored-lifetime policy: the client signs the proxy, so
+	// the server verifies rather than dictates (slack for clock skew).
+	if remaining := cred.TimeLeftAt(s.cfg.now()); remaining > lifetime+10*time.Minute {
+		s.respond(conn, protocol.ErrorResponse(
+			"delegated lifetime %v exceeds server maximum %v", remaining.Round(time.Minute), lifetime))
+		return fmt.Errorf("PUT lifetime %v exceeds policy %v", remaining, lifetime)
+	}
+
+	entry := &credstore.Entry{
+		Username:      req.Username,
+		Name:          req.CredName,
+		Owner:         peer,
+		Description:   req.Description,
+		Retrievers:    req.Retrievers,
+		MaxDelegation: req.MaxDelegation,
+		TaskTags:      req.TaskTags,
+		Renewable:     req.Renewable,
+		CreatedAt:     s.cfg.now(),
+	}
+	// Replacing an existing credential requires owning it.
+	if prev, err := s.store.Get(req.Username, req.CredName); err == nil && prev.Owner != peer {
+		s.respond(conn, protocol.ErrorResponse("credential exists and is owned by another identity"))
+		return fmt.Errorf("PUT overwrite of %s/%s by non-owner %s", req.Username, req.CredName, peer)
+	}
+	if err := credstore.SealDelegated(entry, cred, []byte(req.Passphrase), s.cfg.KDFIterations); err != nil {
+		s.respond(conn, protocol.ErrorResponse("could not seal credential"))
+		return err
+	}
+	// Drop the plaintext key immediately (paper §5.1): the entry now holds
+	// only the sealed form.
+	cred.PrivateKey = nil
+	if err := s.store.Put(entry); err != nil {
+		s.respond(conn, protocol.ErrorResponse("could not store credential"))
+		return err
+	}
+	s.stats.Puts.Add(1)
+	s.cfg.logf("STORED %s/%s for %s until %v", req.Username, req.CredName, peer, entry.NotAfter)
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// --- GET: myproxy-get-delegation (paper Fig. 2) ---
+
+func (s *Server) handleGet(conn *gsi.Conn, req *protocol.Request) error {
+	if req.Renewal {
+		return s.handleRenewal(conn, req)
+	}
+	peer := conn.PeerIdentity()
+	if !s.cfg.AuthorizedRetrievers.Allows(peer) {
+		return s.failf(conn, deniedMsg, "GET by %s not in authorized_retrievers", peer)
+	}
+	// One-time-password gate (paper §6.3): if the user is enrolled, a
+	// valid, fresh OTP response is required in addition to the pass phrase
+	// (the pass phrase still unseals the stored key; the OTP defeats
+	// replay of a captured exchange, §5.1).
+	if s.cfg.OTP != nil && s.cfg.OTP.Enabled(req.Username) {
+		if req.OTP == "" {
+			challenge, ok := s.cfg.OTP.Challenge(req.Username)
+			if !ok {
+				return s.failf(conn, "one-time password chain exhausted", "OTP exhausted for %q", req.Username)
+			}
+			s.stats.AuthFailures.Add(1)
+			return s.respond(conn, &protocol.Response{
+				Code: protocol.RespAuthRequired, Challenge: challenge,
+			})
+		}
+		if err := s.cfg.OTP.Verify(req.Username, req.OTP); err != nil {
+			return s.failf(conn, badPhraseMsg, "OTP verify for %q: %v", req.Username, err)
+		}
+	}
+	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
+	if err != nil {
+		return s.failf(conn, notFoundMsg, "GET %s/%s: %v", req.Username, req.CredName, err)
+	}
+	// Per-credential retrieval restriction composes with the server ACL.
+	if entry.Retrievers != "" && !policyMatch(entry.Retrievers, peer) {
+		return s.failf(conn, deniedMsg, "GET %s/%s: %s not in credential retriever list", req.Username, entry.Name, peer)
+	}
+	if entry.Expired(s.cfg.now()) {
+		return s.failf(conn, "stored credential has expired", "GET %s/%s expired at %v", req.Username, entry.Name, entry.NotAfter)
+	}
+	issuer, err := credstore.UnsealDelegated(entry, []byte(req.Passphrase))
+	if err != nil {
+		if errors.Is(err, credstore.ErrBadPassphrase) {
+			return s.failf(conn, badPhraseMsg, "GET %s/%s: bad pass phrase", req.Username, entry.Name)
+		}
+		s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
+		return err
+	}
+	lifetime := s.cfg.Lifetimes.ClampDelegatedWithRestriction(req.Lifetime, entry.MaxDelegation)
+	if err := s.respond(conn, protocol.OKResponse()); err != nil {
+		return err
+	}
+	// Delegate to the client: the repository is the exporter here; the
+	// client generates the key (paper Fig. 2).
+	if _, err := gsi.Delegate(conn, issuer, proxy.Options{
+		Type:     s.cfg.DelegationProxyType,
+		Lifetime: lifetime,
+	}); err != nil {
+		s.respond(conn, protocol.ErrorResponse("delegation failed: %v", err))
+		return fmt.Errorf("GET delegation to %s: %w", peer, err)
+	}
+	// Drop the unsealed key (paper §5.1: plaintext exists only while in
+	// active use).
+	issuer.PrivateKey = nil
+	s.stats.Gets.Add(1)
+	s.cfg.logf("DELEGATED %s/%s to %s for %v", req.Username, entry.Name, peer, lifetime)
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// handleRenewal is the §6.6 path: a long-running job, authenticating with
+// its current (soon-to-expire) proxy of the user's identity, obtains a
+// fresh delegation without a pass phrase. Authorization is the renewer ACL
+// plus an exact identity match with the stored credential's owner.
+func (s *Server) handleRenewal(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	if !s.cfg.AuthorizedRenewers.Allows(peer) {
+		return s.failf(conn, deniedMsg, "RENEWAL by %s not in authorized_renewers", peer)
+	}
+	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
+	if err != nil {
+		return s.failf(conn, notFoundMsg, "RENEWAL %s/%s: %v", req.Username, req.CredName, err)
+	}
+	if !entry.Renewable {
+		return s.failf(conn, deniedMsg, "RENEWAL %s/%s: credential not renewable", req.Username, entry.Name)
+	}
+	if entry.Owner != peer {
+		return s.failf(conn, deniedMsg, "RENEWAL %s/%s: requester %s is not the credential identity %s",
+			req.Username, entry.Name, peer, entry.Owner)
+	}
+	if entry.Expired(s.cfg.now()) {
+		return s.failf(conn, "stored credential has expired", "RENEWAL %s/%s expired at %v", req.Username, entry.Name, entry.NotAfter)
+	}
+	issuer, err := credstore.UnsealDelegated(entry, nil)
+	if err != nil {
+		s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
+		return err
+	}
+	lifetime := s.cfg.Lifetimes.ClampDelegatedWithRestriction(req.Lifetime, entry.MaxDelegation)
+	if err := s.respond(conn, protocol.OKResponse()); err != nil {
+		return err
+	}
+	if _, err := gsi.Delegate(conn, issuer, proxy.Options{
+		Type:     s.cfg.DelegationProxyType,
+		Lifetime: lifetime,
+	}); err != nil {
+		s.respond(conn, protocol.ErrorResponse("delegation failed: %v", err))
+		return fmt.Errorf("RENEWAL delegation to %s: %w", peer, err)
+	}
+	issuer.PrivateKey = nil
+	s.stats.Gets.Add(1)
+	s.cfg.logf("RENEWED %s/%s for %s for %v", req.Username, entry.Name, peer, lifetime)
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// --- INFO: myproxy-info ---
+
+func (s *Server) handleInfo(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	// Both depositors and retrievers may inspect; authentication is the
+	// per-entry pass phrase.
+	if !s.cfg.AcceptedCredentials.Allows(peer) && !s.cfg.AuthorizedRetrievers.Allows(peer) {
+		return s.failf(conn, deniedMsg, "INFO by %s not authorized", peer)
+	}
+	entries, err := s.store.List(req.Username)
+	if err != nil {
+		s.respond(conn, protocol.ErrorResponse("store error"))
+		return err
+	}
+	resp := &protocol.Response{Code: protocol.RespOK}
+	for _, e := range entries {
+		if e.CheckPassphrase([]byte(req.Passphrase)) != nil {
+			continue // authenticate per entry; skip silently
+		}
+		resp.Infos = append(resp.Infos, protocol.CredInfo{
+			Name:          e.Name,
+			Owner:         e.Owner,
+			Description:   e.Description,
+			StartTime:     e.NotBefore.UTC(),
+			EndTime:       e.NotAfter.UTC(),
+			MaxDelegation: e.MaxDelegation,
+			Retrievers:    e.Retrievers,
+			TaskTags:      e.TaskTags,
+		})
+	}
+	if len(resp.Infos) == 0 {
+		return s.failf(conn, notFoundMsg, "INFO %s: no entries matched pass phrase", req.Username)
+	}
+	s.stats.Infos.Add(1)
+	return s.respond(conn, resp)
+}
+
+// --- DESTROY: myproxy-destroy (paper §4.1) ---
+
+func (s *Server) handleDestroy(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	entry, err := s.store.Get(req.Username, req.CredName)
+	if err != nil {
+		return s.failf(conn, notFoundMsg, "DESTROY %s/%s: %v", req.Username, req.CredName, err)
+	}
+	// Only the owner, with the pass phrase, may destroy.
+	if entry.Owner != peer {
+		return s.failf(conn, deniedMsg, "DESTROY %s/%s by non-owner %s", req.Username, req.CredName, peer)
+	}
+	if err := entry.CheckPassphrase([]byte(req.Passphrase)); err != nil {
+		return s.failf(conn, badPhraseMsg, "DESTROY %s/%s: bad pass phrase", req.Username, req.CredName)
+	}
+	if err := s.store.Delete(req.Username, req.CredName); err != nil {
+		s.respond(conn, protocol.ErrorResponse("store error"))
+		return err
+	}
+	s.stats.Destroys.Add(1)
+	s.cfg.logf("DESTROYED %s/%s by %s", req.Username, req.CredName, peer)
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// --- CHANGE_PASSPHRASE: myproxy-change-passphrase ---
+
+func (s *Server) handleChangePassphrase(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	entry, err := s.store.Get(req.Username, req.CredName)
+	if err != nil {
+		return s.failf(conn, notFoundMsg, "CHANGE_PASSPHRASE %s/%s: %v", req.Username, req.CredName, err)
+	}
+	if entry.Owner != peer {
+		return s.failf(conn, deniedMsg, "CHANGE_PASSPHRASE %s/%s by non-owner %s", req.Username, req.CredName, peer)
+	}
+	if err := s.cfg.Passphrase.Check(req.NewPassphrase); err != nil {
+		return s.respond(conn, protocol.ErrorResponse("new pass phrase rejected: %v", err))
+	}
+	switch entry.Kind {
+	case credstore.KindDelegated:
+		if err := credstore.Reseal(entry, []byte(req.Passphrase), []byte(req.NewPassphrase), s.cfg.KDFIterations); err != nil {
+			if errors.Is(err, credstore.ErrBadPassphrase) {
+				return s.failf(conn, badPhraseMsg, "CHANGE_PASSPHRASE %s/%s: bad pass phrase", req.Username, req.CredName)
+			}
+			s.respond(conn, protocol.ErrorResponse("reseal failed"))
+			return err
+		}
+	case credstore.KindStored:
+		// The blob is sealed client-side; the server cannot re-encrypt it
+		// (by design — it never sees the plaintext).
+		return s.respond(conn, protocol.ErrorResponse(
+			"stored credentials are sealed client-side; re-upload with myproxy-store to change the pass phrase"))
+	}
+	if err := s.store.Put(entry); err != nil {
+		s.respond(conn, protocol.ErrorResponse("store error"))
+		return err
+	}
+	s.stats.PassphraseChange.Add(1)
+	s.cfg.logf("RESEALED %s/%s by %s", req.Username, req.CredName, peer)
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// --- STORE: myproxy-store (paper §6.1) ---
+
+func (s *Server) handleStore(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	if !s.cfg.AcceptedCredentials.Allows(peer) {
+		return s.failf(conn, deniedMsg, "STORE by %s not in accepted_credentials", peer)
+	}
+	if err := s.cfg.Passphrase.Check(req.Passphrase); err != nil {
+		return s.respond(conn, protocol.ErrorResponse("pass phrase rejected: %v", err))
+	}
+	if prev, err := s.store.Get(req.Username, req.CredName); err == nil && prev.Owner != peer {
+		return s.failf(conn, deniedMsg, "STORE overwrite of %s/%s by non-owner %s", req.Username, req.CredName, peer)
+	}
+	if err := s.respond(conn, protocol.OKResponse()); err != nil {
+		return err
+	}
+	blob, err := conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("STORE blob from %s: %w", peer, err)
+	}
+	if len(blob) == 0 {
+		s.respond(conn, protocol.ErrorResponse("empty credential blob"))
+		return errors.New("empty STORE blob")
+	}
+	entry := &credstore.Entry{
+		Username:      req.Username,
+		Name:          req.CredName,
+		Owner:         peer,
+		Kind:          credstore.KindStored,
+		SealedKey:     blob,
+		Description:   req.Description,
+		Retrievers:    req.Retrievers,
+		MaxDelegation: req.MaxDelegation,
+		TaskTags:      req.TaskTags,
+		CreatedAt:     s.cfg.now(),
+	}
+	if err := entry.SetPassphrase([]byte(req.Passphrase)); err != nil {
+		s.respond(conn, protocol.ErrorResponse("could not record pass phrase verifier"))
+		return err
+	}
+	if err := s.store.Put(entry); err != nil {
+		s.respond(conn, protocol.ErrorResponse("could not store credential"))
+		return err
+	}
+	s.stats.Stores.Add(1)
+	s.cfg.logf("STORED(blob) %s/%s for %s (%d bytes)", req.Username, req.CredName, peer, len(blob))
+	return s.respond(conn, protocol.OKResponse())
+}
+
+// --- RETRIEVE: myproxy-retrieve (paper §6.1) ---
+
+func (s *Server) handleRetrieve(conn *gsi.Conn, req *protocol.Request) error {
+	peer := conn.PeerIdentity()
+	if !s.cfg.AuthorizedRetrievers.Allows(peer) {
+		return s.failf(conn, deniedMsg, "RETRIEVE by %s not in authorized_retrievers", peer)
+	}
+	if s.cfg.OTP != nil && s.cfg.OTP.Enabled(req.Username) {
+		if req.OTP == "" {
+			challenge, ok := s.cfg.OTP.Challenge(req.Username)
+			if !ok {
+				return s.failf(conn, "one-time password chain exhausted", "OTP exhausted for %q", req.Username)
+			}
+			s.stats.AuthFailures.Add(1)
+			return s.respond(conn, &protocol.Response{Code: protocol.RespAuthRequired, Challenge: challenge})
+		}
+		if err := s.cfg.OTP.Verify(req.Username, req.OTP); err != nil {
+			return s.failf(conn, badPhraseMsg, "OTP verify for %q: %v", req.Username, err)
+		}
+	}
+	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
+	if err != nil {
+		return s.failf(conn, notFoundMsg, "RETRIEVE %s/%s: %v", req.Username, req.CredName, err)
+	}
+	if entry.Kind != credstore.KindStored {
+		return s.failf(conn, "credential is not retrievable; use get-delegation",
+			"RETRIEVE %s/%s is %s", req.Username, entry.Name, entry.Kind)
+	}
+	if entry.Retrievers != "" && !policyMatch(entry.Retrievers, peer) {
+		return s.failf(conn, deniedMsg, "RETRIEVE %s/%s: %s not in credential retriever list", req.Username, entry.Name, peer)
+	}
+	if err := entry.CheckPassphrase([]byte(req.Passphrase)); err != nil {
+		return s.failf(conn, badPhraseMsg, "RETRIEVE %s/%s: bad pass phrase", req.Username, entry.Name)
+	}
+	s.stats.Retrieves.Add(1)
+	s.cfg.logf("RETRIEVED %s/%s by %s", req.Username, entry.Name, peer)
+	return s.respond(conn, &protocol.Response{Code: protocol.RespOK, Blob: entry.SealedKey})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/otp"
+	"repro/internal/testpki"
+)
+
+// When a user's OTP chain runs out, retrieval must fail closed until the
+// chain is re-initialized (RFC 2289 semantics; paper §6.3).
+func TestOTPChainExhaustion(t *testing.T) {
+	registry := otp.NewRegistry()
+	_, addr := startServer(t, func(cfg *ServerConfig) { cfg.OTP = registry })
+	alice := testpki.User(t, "core-alice")
+	mustPut(t, newClient(t, alice, addr), PutOptions{})
+
+	secret := "exhaustion secret"
+	// A chain with exactly two usable responses (seq 3 -> responses for 2, 1).
+	if err := registry.Register(testUser, otp.MD5, secret, "exh1", 3); err != nil {
+		t.Fatal(err)
+	}
+	portalCli := newClient(t, testpki.Host(t, "portal.test"), addr)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := portalCli.Get(ctx, GetOptions{
+			Username: testUser, Passphrase: testPass, OTPSecret: secret,
+		}); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	// Chain exhausted: no challenge can be issued, access fails closed.
+	_, err := portalCli.Get(ctx, GetOptions{
+		Username: testUser, Passphrase: testPass, OTPSecret: secret,
+	})
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("exhausted chain: %v", err)
+	}
+	// Re-initialization restores access.
+	if err := registry.Register(testUser, otp.MD5, secret, "exh2", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := portalCli.Get(ctx, GetOptions{
+		Username: testUser, Passphrase: testPass, OTPSecret: secret,
+	}); err != nil {
+		t.Fatalf("after re-register: %v", err)
+	}
+}
+
+// OTP also gates RETRIEVE (the §6.1 blob path).
+func TestOTPGatesRetrieve(t *testing.T) {
+	registry := otp.NewRegistry()
+	_, addr := startServer(t, func(cfg *ServerConfig) { cfg.OTP = registry })
+	alice := testpki.User(t, "core-alice")
+	cli := newClient(t, alice, addr)
+	if err := cli.Store(context.Background(), StoreOptions{
+		Username: testUser, Passphrase: testPass, CredName: "blob", Credential: alice,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	secret := "retrieve otp secret"
+	if err := registry.Register(testUser, otp.SHA1, secret, "ret1", 10); err != nil {
+		t.Fatal(err)
+	}
+	// Without OTP: challenged.
+	_, err := cli.Retrieve(context.Background(), RetrieveOptions{
+		Username: testUser, Passphrase: testPass, CredName: "blob",
+	})
+	var otpErr *ErrOTPRequired
+	if !errors.As(err, &otpErr) {
+		t.Fatalf("expected challenge, got %v", err)
+	}
+	// With the secret: automatic.
+	if _, err := cli.Retrieve(context.Background(), RetrieveOptions{
+		Username: testUser, Passphrase: testPass, CredName: "blob", OTPSecret: secret,
+	}); err != nil {
+		t.Fatalf("retrieve with OTP: %v", err)
+	}
+}

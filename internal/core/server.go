@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/credstore"
+	"repro/internal/gsi"
+	"repro/internal/policy"
+)
+
+// Server is a MyProxy repository server (paper §4).
+type Server struct {
+	cfg   ServerConfig
+	store credstore.Store
+	stats Stats
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     sync.WaitGroup
+	closed    bool
+	quit      chan struct{}
+}
+
+// Stats counts repository operations; all fields are updated atomically.
+type Stats struct {
+	Connections      atomic.Int64
+	AuthFailures     atomic.Int64
+	Puts             atomic.Int64
+	Gets             atomic.Int64
+	Infos            atomic.Int64
+	Destroys         atomic.Int64
+	PassphraseChange atomic.Int64
+	Stores           atomic.Int64
+	Retrieves        atomic.Int64
+	Errors           atomic.Int64
+}
+
+// Snapshot returns a plain-value copy for reporting.
+func (s *Stats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"connections":       s.Connections.Load(),
+		"auth_failures":     s.AuthFailures.Load(),
+		"puts":              s.Puts.Load(),
+		"gets":              s.Gets.Load(),
+		"infos":             s.Infos.Load(),
+		"destroys":          s.Destroys.Load(),
+		"passphrase_change": s.PassphraseChange.Load(),
+		"stores":            s.Stores.Load(),
+		"retrieves":         s.Retrieves.Load(),
+		"errors":            s.Errors.Load(),
+	}
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Credential == nil || cfg.Credential.Certificate == nil || cfg.Credential.PrivateKey == nil {
+		return nil, errors.New("core: server requires a host credential")
+	}
+	if cfg.Roots == nil {
+		return nil, errors.New("core: server requires trust roots")
+	}
+	if cfg.AcceptedCredentials == nil {
+		cfg.AcceptedCredentials = policy.NewACL()
+	}
+	if cfg.AuthorizedRetrievers == nil {
+		cfg.AuthorizedRetrievers = policy.NewACL()
+	}
+	if cfg.AuthorizedRenewers == nil {
+		cfg.AuthorizedRenewers = policy.NewACL()
+	}
+	store := cfg.Store
+	if store == nil {
+		store = credstore.NewMemStore()
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		listeners: make(map[net.Listener]struct{}),
+		quit:      make(chan struct{}),
+	}
+	if cfg.PurgeInterval > 0 {
+		go s.sweep(cfg.PurgeInterval)
+	}
+	return s, nil
+}
+
+// sweep periodically removes expired credentials (dead weight and residual
+// risk on the repository host, paper §5.1).
+func (s *Server) sweep(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			n, err := credstore.PurgeExpired(s.store, s.cfg.now(), false)
+			if err != nil {
+				s.cfg.logf("purge: %v", err)
+				continue
+			}
+			if n > 0 {
+				s.cfg.logf("purged %d expired credential(s)", n)
+			}
+		}
+	}
+}
+
+// Store exposes the backing store (admin tooling, tests).
+func (s *Server) Store() credstore.Store { return s.store }
+
+// Stats exposes the operation counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Identity returns the repository's Grid identity.
+func (s *Server) Identity() string { return s.cfg.Credential.Subject() }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.handleRaw(raw)
+		}()
+	}
+}
+
+// Close stops all listeners, the purge sweeper, and waits for in-flight
+// sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.conns.Wait()
+	return nil
+}
+
+// handleRaw authenticates and serves one client session.
+func (s *Server) handleRaw(raw net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.Errors.Add(1)
+			s.cfg.logf("panic serving %v: %v", raw.RemoteAddr(), r)
+			raw.Close()
+		}
+	}()
+	timeout := s.cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := gsi.Server(raw, s.cfg.Credential, gsi.AuthOptions{
+		Roots:            s.cfg.Roots,
+		MaxDepth:         s.cfg.MaxChainDepth,
+		IsRevoked:        s.cfg.IsRevoked,
+		HandshakeTimeout: timeout,
+	})
+	if err != nil {
+		s.stats.AuthFailures.Add(1)
+		s.cfg.logf("authentication failed from %v: %v", raw.RemoteAddr(), err)
+		return
+	}
+	defer conn.Close()
+	s.stats.Connections.Add(1)
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := s.serveSession(conn); err != nil {
+		s.stats.Errors.Add(1)
+		s.cfg.logf("session with %s: %v", conn.PeerIdentity(), err)
+	}
+}
+
+// HandleConn serves one pre-established raw connection synchronously
+// (used by tests and the simulation harness).
+func (s *Server) HandleConn(raw net.Conn) {
+	s.handleRaw(raw)
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"crypto/x509"
+	"net"
+	"testing"
+)
+
+// x509Pool aliases keep the test helpers compact.
+type x509Pool = x509.CertPool
+
+func newX509Pool() *x509Pool { return x509.NewCertPool() }
+
+func listenLoopback(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err == nil {
+		t.Cleanup(func() { ln.Close() })
+	}
+	return ln, err
+}

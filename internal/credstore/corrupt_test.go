@@ -1,0 +1,94 @@
+package credstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A corrupted entry file must fail loudly with the file name — a
+// repository silently skipping store entries would hide tampering.
+func TestFileStoreCorruptEntryFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(sampleEntry(t, "alice", "")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), ".json") {
+			target = filepath.Join(dir, de.Name())
+		}
+	}
+	if target == "" {
+		t.Fatal("no entry file found")
+	}
+	if err := os.WriteFile(target, []byte("{corrupt"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("alice", ""); err == nil {
+		t.Error("corrupt entry read successfully")
+	}
+	if _, err := fs.List("alice"); err == nil {
+		t.Error("List succeeded over a corrupt entry")
+	} else if !strings.Contains(err.Error(), filepath.Base(target)) {
+		t.Errorf("error does not name the corrupt file: %v", err)
+	}
+}
+
+// An entry file missing its body is rejected.
+func TestFileStoreEmptyBodyRejected(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(sampleEntry(t, "alice", "")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), ".json") {
+			os.WriteFile(filepath.Join(dir, de.Name()),
+				[]byte(`{"username":"alice","name":""}`), 0o600)
+		}
+	}
+	if _, err := fs.Get("alice", ""); err == nil {
+		t.Error("entry without body accepted")
+	}
+}
+
+// Non-JSON junk files in the store directory are ignored by scans.
+func TestFileStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(sampleEntry(t, "alice", "")); err != nil {
+		t.Fatal(err)
+	}
+	list, err := fs.List("alice")
+	if err != nil || len(list) != 1 {
+		t.Errorf("List = %d, %v", len(list), err)
+	}
+	users, err := fs.Usernames()
+	if err != nil || len(users) != 1 {
+		t.Errorf("Usernames = %v, %v", users, err)
+	}
+}

@@ -1,0 +1,167 @@
+package credstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var errEmptyUsername = errors.New("credstore: empty username")
+
+// FileStore persists entries as one JSON document per credential inside a
+// directory, mirroring the C implementation's per-user files under
+// /var/myproxy. Private keys inside the files are sealed; the files
+// themselves are additionally created owner-only (0600, directory 0700)
+// because the repository host must be tightly secured (paper §5.1).
+type FileStore struct {
+	dir string
+	mu  sync.Mutex // serializes multi-file operations (List/Usernames scans)
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("credstore: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// fileEntry wraps Entry with an explicit index of its key, so a scan can
+// recover usernames without trusting file names.
+type fileEntry struct {
+	Username string `json:"username"`
+	Name     string `json:"name"`
+	Entry    *Entry `json:"entry"`
+}
+
+func (s *FileStore) path(username, name string) string {
+	return filepath.Join(s.dir, sha256sum(username, name)+".json")
+}
+
+// Put implements Store with an atomic write (tmp file + rename).
+func (s *FileStore) Put(e *Entry) error {
+	if e.Username == "" {
+		return errEmptyUsername
+	}
+	data, err := json.MarshalIndent(fileEntry{Username: e.Username, Name: e.Name, Entry: e}, "", " ")
+	if err != nil {
+		return fmt.Errorf("credstore: encode entry: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.path(e.Username, e.Name)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("credstore: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("credstore: write entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, target)
+}
+
+// Get implements Store.
+func (s *FileStore) Get(username, name string) (*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(s.path(username, name))
+}
+
+func (s *FileStore) readLocked(path string) (*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("credstore: read entry: %w", err)
+	}
+	var fe fileEntry
+	if err := json.Unmarshal(data, &fe); err != nil {
+		return nil, fmt.Errorf("credstore: decode %s: %w", filepath.Base(path), err)
+	}
+	if fe.Entry == nil {
+		return nil, fmt.Errorf("credstore: %s has no entry body", filepath.Base(path))
+	}
+	fe.Entry.Username, fe.Entry.Name = fe.Username, fe.Name
+	return fe.Entry, nil
+}
+
+// List implements Store by scanning the directory.
+func (s *FileStore) List(username string) ([]*Entry, error) {
+	entries, err := s.scan(func(fe *Entry) bool { return fe.Username == username })
+	if err != nil {
+		return nil, err
+	}
+	sortEntries(entries)
+	return entries, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(username, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(username, name))
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Usernames implements Store.
+func (s *FileStore) Usernames() ([]string, error) {
+	entries, err := s.scan(func(*Entry) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range entries {
+		if !seen[e.Username] {
+			seen[e.Username] = true
+			out = append(out, e.Username)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (s *FileStore) scan(keep func(*Entry) bool) ([]*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("credstore: scan: %w", err)
+	}
+	var out []*Entry
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		e, err := s.readLocked(filepath.Join(s.dir, de.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package credstore
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemStore is an in-memory Store, used by tests, benchmarks, and embedded
+// repositories.
+type MemStore struct {
+	mu      sync.RWMutex
+	entries map[memKey]*Entry
+}
+
+type memKey struct{ username, name string }
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{entries: make(map[memKey]*Entry)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(e *Entry) error {
+	if e.Username == "" {
+		return errEmptyUsername
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[memKey{e.Username, e.Name}] = e.Clone()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(username, name string) (*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[memKey{username, name}]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return e.Clone(), nil
+}
+
+// List implements Store.
+func (s *MemStore) List(username string) ([]*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Entry
+	for k, e := range s.entries {
+		if k.username == username {
+			out = append(out, e.Clone())
+		}
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(username, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := memKey{username, name}
+	if _, ok := s.entries[k]; !ok {
+		return ErrNotFound
+	}
+	delete(s.entries, k)
+	return nil
+}
+
+// Usernames implements Store.
+func (s *MemStore) Usernames() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	for k := range s.entries {
+		seen[k.username] = true
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// sortEntries orders the default credential first, then by name.
+func sortEntries(entries []*Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if (entries[i].Name == "") != (entries[j].Name == "") {
+			return entries[i].Name == ""
+		}
+		return entries[i].Name < entries[j].Name
+	})
+}

@@ -1,0 +1,220 @@
+// Package credstore implements the MyProxy repository's credential storage
+// (paper §5.1): every private key at rest is sealed with the owner's pass
+// phrase, so a dump of the store yields no usable keys. Public certificate
+// chains are kept in the clear so the server can answer INFO queries and
+// select credentials without the pass phrase.
+package credstore
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/kdf"
+	"repro/internal/pki"
+)
+
+// Kind distinguishes how a stored credential was deposited.
+type Kind int
+
+const (
+	// KindDelegated marks a proxy credential delegated into the repository
+	// with myproxy-init (paper §4.1); the repository generated the key
+	// during wire delegation and sealed it immediately.
+	KindDelegated Kind = iota
+	// KindStored marks a long-term credential uploaded for safekeeping
+	// with myproxy-store (paper §6.1); the blob was sealed by the client
+	// and is opaque to the repository.
+	KindStored
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDelegated:
+		return "delegated"
+	case KindStored:
+		return "stored"
+	default:
+		return fmt.Sprintf("credstore.Kind(%d)", int(k))
+	}
+}
+
+// Entry is one stored credential.
+type Entry struct {
+	// Username is the user-chosen account name, typically distinct from
+	// the DN (paper §4.1: "more memorable and concise than a typical DN").
+	Username string
+	// Name distinguishes multiple credentials per user (wallet, §6.2);
+	// empty is the default credential.
+	Name string
+	// Owner is the Grid DN of the client that deposited the credential;
+	// only the owner may destroy or re-own it.
+	Owner string
+	// Kind is the deposit mode.
+	Kind Kind
+	// CertsPEM holds the public certificate chain (leaf first) for
+	// KindDelegated entries. Empty for KindStored.
+	CertsPEM []byte
+	// SealedKey is the pass-phrase-sealed private key (KindDelegated) or
+	// the client-sealed credential container (KindStored).
+	SealedKey []byte
+	// Verifier authenticates the pass phrase without unsealing:
+	// PBKDF2(passphrase, VerifierSalt). It lets the server reject bad pass
+	// phrases for opaque KindStored blobs.
+	Verifier     []byte
+	VerifierSalt []byte
+	VerifierIter int
+
+	// Description is free text shown by myproxy-info.
+	Description string
+	// Retrievers optionally narrows which DNs may retrieve this credential.
+	Retrievers string
+	// MaxDelegation is the owner's retrieval restriction (§4.1).
+	MaxDelegation time.Duration
+	// TaskTags label the credential for wallet selection (§6.2).
+	TaskTags []string
+	// Renewable marks the credential as renewable without a pass phrase
+	// by authorized renewers (paper §6.6); such entries are sealed under
+	// an empty pass phrase.
+	Renewable bool
+
+	// NotBefore/NotAfter mirror the stored certificate validity so expiry
+	// can be enforced and reported without parsing.
+	NotBefore time.Time
+	NotAfter  time.Time
+	CreatedAt time.Time
+}
+
+// Expired reports whether the stored credential has expired.
+func (e *Entry) Expired(now time.Time) bool {
+	return !e.NotAfter.IsZero() && now.After(e.NotAfter)
+}
+
+// Clone returns a deep copy so callers can mutate safely.
+func (e *Entry) Clone() *Entry {
+	c := *e
+	c.CertsPEM = append([]byte(nil), e.CertsPEM...)
+	c.SealedKey = append([]byte(nil), e.SealedKey...)
+	c.Verifier = append([]byte(nil), e.Verifier...)
+	c.VerifierSalt = append([]byte(nil), e.VerifierSalt...)
+	c.TaskTags = append([]string(nil), e.TaskTags...)
+	return &c
+}
+
+// Store is the repository storage interface. Implementations must be safe
+// for concurrent use.
+type Store interface {
+	// Put inserts or replaces the entry keyed by (Username, Name).
+	Put(e *Entry) error
+	// Get returns the entry or ErrNotFound.
+	Get(username, name string) (*Entry, error)
+	// List returns all entries for username, default credential first,
+	// then sorted by name.
+	List(username string) ([]*Entry, error)
+	// Delete removes an entry, returning ErrNotFound if absent.
+	Delete(username, name string) error
+	// Usernames returns all usernames with stored credentials (admin use).
+	Usernames() ([]string, error)
+}
+
+// ErrNotFound is returned for missing credentials.
+var ErrNotFound = errors.New("credstore: no such credential")
+
+// ErrBadPassphrase is returned when pass-phrase verification fails.
+var ErrBadPassphrase = errors.New("credstore: pass phrase incorrect")
+
+const verifierIterations = 4096 // fast check; the sealing KDF is the slow one
+
+// SetPassphrase computes and installs the verifier for a pass phrase.
+func (e *Entry) SetPassphrase(passphrase []byte) error {
+	salt := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, salt); err != nil {
+		return fmt.Errorf("credstore: salt: %w", err)
+	}
+	e.VerifierSalt = salt
+	e.VerifierIter = verifierIterations
+	e.Verifier = kdf.SHA256Key(passphrase, salt, e.VerifierIter, 32)
+	return nil
+}
+
+// CheckPassphrase verifies a pass phrase against the entry's verifier in
+// constant time.
+func (e *Entry) CheckPassphrase(passphrase []byte) error {
+	if len(e.Verifier) == 0 || len(e.VerifierSalt) == 0 || e.VerifierIter <= 0 {
+		return errors.New("credstore: entry has no pass phrase verifier")
+	}
+	got := kdf.SHA256Key(passphrase, e.VerifierSalt, e.VerifierIter, 32)
+	if !hmac.Equal(got, e.Verifier) {
+		return ErrBadPassphrase
+	}
+	return nil
+}
+
+// sha256sum is a helper for file-store naming.
+func sha256sum(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// SealDelegated packages a freshly delegated credential into an entry:
+// the private key is sealed under the pass phrase and the plaintext is the
+// caller's responsibility to discard (paper §5.1). kdfIter <= 0 selects
+// pki.DefaultKDFIterations.
+func SealDelegated(e *Entry, cred *pki.Credential, passphrase []byte, kdfIter int) error {
+	keyPEM, err := pki.EncryptKeyPEM(cred.PrivateKey, passphrase, kdfIter)
+	if err != nil {
+		return err
+	}
+	e.Kind = KindDelegated
+	e.CertsPEM = pki.EncodeCertsPEM(cred.CertChain())
+	e.SealedKey = keyPEM
+	e.NotBefore = cred.Certificate.NotBefore
+	e.NotAfter = cred.Certificate.NotAfter
+	if err := e.SetPassphrase(passphrase); err != nil {
+		return err
+	}
+	return nil
+}
+
+// UnsealDelegated reconstructs the delegated credential, verifying the pass
+// phrase. The caller must discard the plaintext key as soon as the
+// delegation completes.
+func UnsealDelegated(e *Entry, passphrase []byte) (*pki.Credential, error) {
+	if e.Kind != KindDelegated {
+		return nil, fmt.Errorf("credstore: %s credential cannot be unsealed for delegation", e.Kind)
+	}
+	if err := e.CheckPassphrase(passphrase); err != nil {
+		return nil, err
+	}
+	key, err := pki.DecryptKeyPEM(e.SealedKey, passphrase)
+	if err != nil {
+		if errors.Is(err, pki.ErrBadPassphrase) {
+			return nil, ErrBadPassphrase
+		}
+		return nil, err
+	}
+	certs, err := pki.DecodeCertsPEM(e.CertsPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &pki.Credential{Certificate: certs[0], PrivateKey: key, Chain: certs[1:]}, nil
+}
+
+// Reseal re-encrypts a delegated entry under a new pass phrase
+// (myproxy-change-passphrase). Stored (opaque) entries cannot be resealed
+// server-side; the client must re-upload.
+func Reseal(e *Entry, oldPass, newPass []byte, kdfIter int) error {
+	cred, err := UnsealDelegated(e, oldPass)
+	if err != nil {
+		return err
+	}
+	return SealDelegated(e, cred, newPass, kdfIter)
+}

@@ -1,0 +1,62 @@
+package gram
+
+import (
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/gsi"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// BenchmarkSubmitWait measures one job round trip (submit + poll to DONE)
+// over an established GSI session — the per-job cost a portal pays when
+// acting for a user (paper §2.5).
+func BenchmarkSubmitWait(b *testing.B) {
+	gridmap := testGridmapB(b)
+	srv, err := NewServer(Config{
+		Credential: testpki.Host(b, "gram.test"),
+		Roots:      testRootsB(b),
+		Gridmap:    gridmap,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+
+	p, err := proxy.New(testpki.User(b, "gram-bench"), proxy.Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := &Client{Credential: p, Roots: testRootsB(b), Addr: ln.Addr().String()}
+	b.Cleanup(func() { cli.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cli.Submit("echo", []string{"bench"}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cli.Wait(st.ID, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testRootsB(b *testing.B) *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(testpki.CA(b).Certificate())
+	return pool
+}
+
+func testGridmapB(b *testing.B) *gsi.Gridmap {
+	g := gsi.NewGridmap()
+	g.Add(testpki.User(b, "gram-bench").Subject(), "bench")
+	return g
+}

@@ -1,0 +1,114 @@
+package gram
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// startRepoForRenewal brings up a MyProxy repository that authorizes this
+// org to deposit and renew.
+func startRepoForRenewal(t *testing.T) (addr string) {
+	t.Helper()
+	srv, err := core.NewServer(core.ServerConfig{
+		Credential:           testpki.Host(t, "myproxy.test"),
+		Roots:                testRoots(t),
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Test Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("/C=US/O=Test Grid/*"),
+		AuthorizedRenewers:   policy.NewACL("/C=US/O=Test Grid/*"),
+		KDFIterations:        64,
+		DelegationKeyBits:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestLongJobSurvivesProxyExpiry is the full Condor-G scenario (paper
+// §6.6): a job runs longer than its delegated proxy lives, and the job
+// manager's renewal agent keeps replacing the credential so the job's
+// periodic credential checks keep passing.
+func TestLongJobSurvivesProxyExpiry(t *testing.T) {
+	repoAddr := startRepoForRenewal(t)
+	alice := testpki.User(t, "gram-alice")
+	// Deposit alice's renewable credential.
+	if err := (&core.Client{
+		Credential: alice, Roots: testRoots(t), Addr: repoAddr,
+		ExpectedServer: "*/CN=myproxy.test", KeyBits: 1024,
+	}).Put(context.Background(), core.PutOptions{
+		Username: "alice", Renewable: true, Lifetime: 24 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, gramAddr := startGRAM(t, func(cfg *Config) {
+		cfg.Renewal = &RenewalOptions{
+			RepoAddr:       repoAddr,
+			ExpectedServer: "*/CN=myproxy.test",
+			Threshold:      10 * time.Second, // renew when <10s remain
+			Lifetime:       time.Hour,
+			Interval:       50 * time.Millisecond,
+			KeyBits:        1024,
+		}
+	})
+
+	// Submit with a proxy that will expire ~2s into a ~3s job.
+	shortProxy, err := proxy.New(alice, proxy.Options{Lifetime: 2 * time.Second, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := newGRAMClient(t, shortProxy, gramAddr)
+	cli.DelegationLifetime = 2 * time.Second
+	st, err := cli.SubmitRenewable("grid-sleep", []string{"3s", "200ms"}, "alice")
+	if err != nil {
+		t.Fatalf("SubmitRenewable: %v", err)
+	}
+	final, err := cli.Wait(st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("long job failed: %s", final.Error)
+	}
+	if !strings.Contains(final.Output, "valid credential at all") {
+		t.Errorf("output = %q", final.Output)
+	}
+}
+
+// Without the renewal agent, the same job must FAIL when its credential
+// expires mid-run — the §6.6 problem statement.
+func TestLongJobDiesWithoutRenewal(t *testing.T) {
+	_, gramAddr := startGRAM(t, nil) // no Renewal configured
+	alice := testpki.User(t, "gram-alice")
+	shortProxy, err := proxy.New(alice, proxy.Options{Lifetime: 2 * time.Second, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := newGRAMClient(t, shortProxy, gramAddr)
+	cli.DelegationLifetime = 2 * time.Second
+	st, err := cli.Submit("grid-sleep", []string{"4s", "200ms"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.Wait(st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || !strings.Contains(final.Error, "credential expired mid-run") {
+		t.Fatalf("expected mid-run expiry, got %+v", final)
+	}
+}

@@ -1,0 +1,99 @@
+package gsi
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"errors"
+	"fmt"
+
+	"repro/internal/pki"
+	"repro/internal/proxy"
+)
+
+// Wire delegation (paper §2.4): the importing side generates a fresh key
+// pair and sends a certification request over the authenticated channel;
+// the exporting side signs a proxy certificate for that public key with its
+// own credential and returns the full chain. The private key never crosses
+// the wire — this property is the heart of GSI delegation and of both
+// MyProxy operations (paper Figures 1 and 2 are each one run of this
+// protocol in opposite directions).
+
+// RequestDelegation runs the importing side: it generates a key pair, sends
+// a CSR, receives the signed chain, and assembles the resulting proxy
+// credential. The returned credential is verified against roots before
+// being accepted. keyBits == 0 selects pki.DefaultKeyBits.
+func RequestDelegation(conn *Conn, keyBits int, roots *x509.CertPool) (*pki.Credential, error) {
+	key, err := pki.GenerateKey(keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return requestDelegationWithKey(conn, key, roots)
+}
+
+func requestDelegationWithKey(conn *Conn, key *rsa.PrivateKey, roots *x509.CertPool) (*pki.Credential, error) {
+	// The CSR subject is ignored by the signer (RFC 3820: the issuer
+	// dictates the subject), but must be present for a well-formed request.
+	csrDER, err := x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+		Subject: conn.Local.Certificate.Subject,
+	}, key)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: create CSR: %w", err)
+	}
+	if err := conn.WriteMessage(csrDER); err != nil {
+		return nil, err
+	}
+	chainPEM, err := conn.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("gsi: receive delegated chain: %w", err)
+	}
+	certs, err := pki.DecodeCertsPEM(chainPEM)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: decode delegated chain: %w", err)
+	}
+	cred := &pki.Credential{Certificate: certs[0], PrivateKey: key, Chain: certs[1:]}
+	// The leaf must certify exactly the key we generated.
+	leafPub, ok := cred.Certificate.PublicKey.(*rsa.PublicKey)
+	if !ok || leafPub.N.Cmp(key.N) != 0 || leafPub.E != key.E {
+		return nil, errors.New("gsi: delegated certificate does not match requested key")
+	}
+	if roots != nil {
+		if _, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: roots}); err != nil {
+			return nil, fmt.Errorf("gsi: delegated chain rejected: %w", err)
+		}
+	}
+	return cred, nil
+}
+
+// Delegate runs the exporting side: it receives the peer's CSR and signs a
+// proxy certificate under issuer with the given options, sending back the
+// full chain (new proxy first, then issuer's chain). It returns the signed
+// certificate.
+func Delegate(conn *Conn, issuer *pki.Credential, opts proxy.Options) (*x509.Certificate, error) {
+	csrDER, err := conn.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("gsi: receive CSR: %w", err)
+	}
+	csr, err := x509.ParseCertificateRequest(csrDER)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: parse CSR: %w", err)
+	}
+	// Proof of possession of the requested key.
+	if err := csr.CheckSignature(); err != nil {
+		return nil, fmt.Errorf("gsi: CSR signature: %w", err)
+	}
+	pub, ok := csr.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("gsi: CSR public key is not RSA")
+	}
+	cert, err := proxy.Create(issuer, pub, opts)
+	if err != nil {
+		return nil, err
+	}
+	chain := []*x509.Certificate{cert}
+	chain = append(chain, issuer.CertChain()...)
+	if err := conn.WriteMessage(pki.EncodeCertsPEM(chain)); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}

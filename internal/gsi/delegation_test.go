@@ -1,0 +1,162 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// runDelegation performs one wire delegation from exporter to importer over
+// an in-memory channel and returns the credential the importer received.
+func runDelegation(t *testing.T, exporterCred, importerCred *pki.Credential, opts proxy.Options) (*pki.Credential, error) {
+	t.Helper()
+	// Exporter acts as the "server" side of the channel here; direction is
+	// arbitrary since the channel is symmetric after authentication.
+	cli, srv, err := connectPair(t, importerCred, exporterCred, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	type delRes struct {
+		err error
+	}
+	ch := make(chan delRes, 1)
+	go func() {
+		_, err := Delegate(srv, exporterCred, opts)
+		ch <- delRes{err}
+	}()
+	cred, err := RequestDelegation(cli, 1024, testRoots(t))
+	if srvRes := <-ch; srvRes.err != nil {
+		t.Fatalf("Delegate: %v", srvRes.err)
+	}
+	return cred, err
+}
+
+func TestWireDelegation(t *testing.T) {
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	cred, err := runDelegation(t, user, portal, proxy.Options{Type: proxy.RFC3820, Lifetime: time.Hour})
+	if err != nil {
+		t.Fatalf("RequestDelegation: %v", err)
+	}
+	// The delegated credential authenticates as the user.
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: testRoots(t)})
+	if err != nil {
+		t.Fatalf("verify delegated chain: %v", err)
+	}
+	if res.IdentityString() != user.Subject() {
+		t.Errorf("identity = %q, want %q", res.IdentityString(), user.Subject())
+	}
+	if res.Depth != 1 {
+		t.Errorf("depth = %d", res.Depth)
+	}
+	// The delegated key must differ from the user's long-term key.
+	if cred.PrivateKey.N.Cmp(user.PrivateKey.N) == 0 {
+		t.Fatal("private key crossed the wire")
+	}
+	if err := cred.Validate(time.Now()); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestWireDelegationChained(t *testing.T) {
+	// user delegates to portal; portal delegates onward to a job host
+	// (paper §2.4: "delegation can be chained").
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	jobHost := testpki.Host(t, "gram.test")
+
+	firstHop, err := runDelegation(t, user, portal, proxy.Options{Type: proxy.RFC3820, Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondHop, err := runDelegation(t, firstHop, jobHost, proxy.Options{Type: proxy.RFC3820, Lifetime: 30 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proxy.Verify(secondHop.CertChain(), proxy.VerifyOptions{Roots: testRoots(t)})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Depth != 2 {
+		t.Errorf("depth = %d, want 2", res.Depth)
+	}
+	if res.IdentityString() != user.Subject() {
+		t.Errorf("identity = %q", res.IdentityString())
+	}
+}
+
+func TestWireDelegationLimited(t *testing.T) {
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	cred, err := runDelegation(t, user, portal, proxy.Options{Type: proxy.RFC3820Limited, Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: testRoots(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Limited {
+		t.Error("limited delegation lost its limitation")
+	}
+	if res.Permits(proxy.OpJobSubmit) {
+		t.Error("limited proxy permits job submission")
+	}
+}
+
+func TestWireDelegationRestricted(t *testing.T) {
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	cred, err := runDelegation(t, user, portal, proxy.Options{
+		Type:          proxy.RFC3820Restricted,
+		Lifetime:      time.Hour,
+		RestrictedOps: []string{proxy.OpFileRead},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{Roots: testRoots(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Permits(proxy.OpFileRead) || res.Permits(proxy.OpJobSubmit) {
+		t.Errorf("restricted ops = %v", res.RestrictedOps)
+	}
+}
+
+func TestDelegationLifetimeClamped(t *testing.T) {
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	cred, err := runDelegation(t, user, portal, proxy.Options{
+		Type: proxy.RFC3820, Lifetime: 100 * 365 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Certificate.NotAfter.After(user.Certificate.NotAfter) {
+		t.Error("delegated proxy outlives the delegating credential")
+	}
+}
+
+func TestDelegateGarbageCSR(t *testing.T) {
+	user := testpki.User(t, "deleg-alice")
+	portal := testpki.Host(t, "portal.test")
+	cli, srv, err := connectPair(t, portal, user, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Delegate(srv, user, proxy.Options{Type: proxy.RFC3820})
+		errCh <- err
+	}()
+	if err := cli.WriteMessage([]byte("this is not a CSR")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("garbage CSR accepted")
+	}
+}

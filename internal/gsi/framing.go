@@ -1,0 +1,57 @@
+// Package gsi provides the Grid Security Infrastructure substrate the paper
+// builds on (paper §2): mutually authenticated, encrypted channels carrying
+// proxy-certificate chains (§2.2), credential delegation over those channels
+// (§2.4), and gridmap DN-to-account mapping (§2.1).
+//
+// The transport is crypto/tls with certificate-path logic replaced by the
+// proxy-aware validator in internal/proxy, since the standard library cannot
+// validate chains whose intermediates are end-entity certificates.
+package gsi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame bounds a single protocol message. Credential chains and
+// MyProxy requests are small; a megabyte is generous.
+const DefaultMaxFrame = 1 << 20
+
+// ErrFrameTooLarge is returned when an incoming frame exceeds the limit.
+var ErrFrameTooLarge = errors.New("gsi: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("gsi: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("gsi: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message of at most max bytes
+// (max <= 0 selects DefaultMaxFrame).
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("gsi: read frame body: %w", err)
+	}
+	return payload, nil
+}

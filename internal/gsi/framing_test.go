@@ -1,0 +1,66 @@
+package gsi
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xab}, 10000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 50); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:8]
+	if _, err := ReadFrame(bytes.NewReader(trunc), 0); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want EOF", err)
+	}
+}
+
+func TestFrameProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf, 0)
+		return err == nil && bytes.Equal(got, payload) && buf.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package gsi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGridmapBasics(t *testing.T) {
+	g := NewGridmap()
+	g.Add("/C=US/O=Grid/CN=Jane Doe", "jdoe")
+	if acct, ok := g.Lookup("/C=US/O=Grid/CN=Jane Doe"); !ok || acct != "jdoe" {
+		t.Errorf("Lookup = %q, %v", acct, ok)
+	}
+	if _, ok := g.Lookup("/CN=unknown"); ok {
+		t.Error("unknown DN resolved")
+	}
+	g.Add("/C=US/O=Grid/CN=Jane Doe", "jane2")
+	if acct, _ := g.Lookup("/C=US/O=Grid/CN=Jane Doe"); acct != "jane2" {
+		t.Error("Add did not replace")
+	}
+	g.Remove("/C=US/O=Grid/CN=Jane Doe")
+	if g.Len() != 0 {
+		t.Error("Remove did not delete")
+	}
+}
+
+func TestParseGridmap(t *testing.T) {
+	data := []byte(`
+# grid-mapfile
+"/C=US/O=Grid/CN=Jane Doe" jdoe
+"/C=US/O=Grid/CN=Rich Roe" rroe,shared
+
+`)
+	g, err := ParseGridmap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if acct, _ := g.Lookup("/C=US/O=Grid/CN=Rich Roe"); acct != "rroe" {
+		t.Errorf("multi-account entry: %q", acct)
+	}
+}
+
+func TestParseGridmapErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`/C=US/CN=x jdoe`),      // unquoted
+		[]byte(`"/C=US/CN=x jdoe`),     // unterminated
+		[]byte(`"/C=US/CN=x"`),         // missing account
+		[]byte(`"" jdoe`),              // empty DN
+		[]byte(`"/CN=x" two accounts`), // whitespace in account
+	}
+	for _, data := range bad {
+		if _, err := ParseGridmap(data); err == nil {
+			t.Errorf("ParseGridmap(%q): expected error", data)
+		}
+	}
+}
+
+func TestGridmapEncodeRoundTrip(t *testing.T) {
+	g := NewGridmap()
+	g.Add("/C=US/O=Grid/CN=B User", "buser")
+	g.Add("/C=US/O=Grid/CN=A User", "auser")
+	enc := g.Encode()
+	// Sorted output: A before B.
+	if !bytes.HasPrefix(enc, []byte(`"/C=US/O=Grid/CN=A User" auser`)) {
+		t.Errorf("encoding not sorted:\n%s", enc)
+	}
+	back, err := ParseGridmap(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("round trip lost entries: %d", back.Len())
+	}
+	if got := back.DNs(); len(got) != 2 || got[0] != "/C=US/O=Grid/CN=A User" {
+		t.Errorf("DNs = %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package gsi
+
+import (
+	"crypto/x509"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// The delegation importer must reject a chain whose leaf certifies a key
+// other than the one it generated (a malicious exporter substituting its
+// own key pair would otherwise hold the private key for "our" proxy).
+func TestRequestDelegationRejectsForeignKey(t *testing.T) {
+	user := testpki.User(t, "harden-alice")
+	portal := testpki.Host(t, "harden-portal.test")
+	cli, srv, err := connectPair(t, portal, user, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		// A hostile exporter: read the CSR, ignore its key, and send back
+		// a proxy minted for a DIFFERENT (attacker-held) key.
+		if _, err := srv.ReadMessage(); err != nil {
+			errCh <- err
+			return
+		}
+		foreign := testpki.Key(t, 7)
+		cert, err := proxy.Create(user, &foreign.PublicKey, proxy.Options{Lifetime: time.Hour})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		chain := append([]*x509.Certificate{cert}, user.CertChain()...)
+		errCh <- srv.WriteMessage(pki.EncodeCertsPEM(chain))
+	}()
+	_, err = RequestDelegation(cli, 1024, testRoots(t))
+	if err == nil || !strings.Contains(err.Error(), "does not match requested key") {
+		t.Fatalf("foreign-key chain: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The importer must reject a chain that does not verify against the trust
+// roots, even if the key matches.
+func TestRequestDelegationRejectsUntrustedChain(t *testing.T) {
+	rogueCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/CN=Harden Rogue CA"), Key: testpki.Key(t, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueUser, err := rogueCA.IssueCredentialForKey(pki.MustParseDN("/CN=rogue-user"), time.Hour, testpki.Key(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ends trust BOTH CAs at the channel layer (so the handshake
+	// succeeds), but the importer pins delegation validation to the main
+	// test CA only.
+	trustBoth := defaultOpts(t)
+	trustBoth.Roots.AddCert(rogueCA.Certificate())
+	portal := testpki.Host(t, "harden-portal.test")
+	cli, srv, err := connectPair(t, portal, rogueUser, trustBoth, trustBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Delegate(srv, rogueUser, proxy.Options{Lifetime: time.Hour})
+		errCh <- err
+	}()
+	_, err = RequestDelegation(cli, 1024, testRoots(t)) // pins the main CA
+	if err == nil || !strings.Contains(err.Error(), "delegated chain rejected") {
+		t.Fatalf("untrusted chain: %v", err)
+	}
+	<-errCh
+}
+
+func TestConnAfterCloseFails(t *testing.T) {
+	user := testpki.User(t, "harden-alice")
+	portal := testpki.Host(t, "harden-portal.test")
+	cli, _, err := connectPair(t, user, portal, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := cli.WriteMessage([]byte("after close")); err == nil {
+		t.Error("write after close succeeded")
+	}
+	if _, err := cli.ReadMessage(); err == nil {
+		t.Error("read after close succeeded")
+	}
+}
+
+func TestClientRejectsIncompleteCredential(t *testing.T) {
+	user := testpki.User(t, "harden-alice")
+	raw1, raw2 := net.Pipe()
+	t.Cleanup(func() { raw1.Close(); raw2.Close() })
+	if _, err := Client(raw1, &pki.Credential{Certificate: user.Certificate}, defaultOpts(t)); err == nil {
+		t.Error("credential without key accepted")
+	}
+	if _, err := Client(raw1, nil, defaultOpts(t)); err == nil {
+		t.Error("nil credential accepted")
+	}
+}
+
+// Property: frames written then read back with an interposed size limit
+// behave deterministically — either the full payload round-trips (within
+// the limit) or ErrFrameTooLarge fires (beyond it); no third outcome.
+func TestFrameLimitProperty(t *testing.T) {
+	f := func(payload []byte, limitSeed uint16) bool {
+		limit := int(limitSeed)%256 + 1
+		var buf writableBuffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf, limit)
+		if len(payload) <= limit {
+			return err == nil && string(got) == string(payload)
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type writableBuffer struct{ data []byte }
+
+func (b *writableBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *writableBuffer) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}

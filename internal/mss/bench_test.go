@@ -1,0 +1,53 @@
+package mss
+
+import (
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/gsi"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// BenchmarkPutGet measures one store + fetch round trip over an
+// established GSI session — the data-plane cost of the §2.4 scenario.
+func BenchmarkPutGet(b *testing.B) {
+	pool := x509.NewCertPool()
+	pool.AddCert(testpki.CA(b).Certificate())
+	gridmap := gsi.NewGridmap()
+	gridmap.Add(testpki.User(b, "mss-bench").Subject(), "bench")
+	srv, err := NewServer(Config{
+		Credential: testpki.Host(b, "mss.test"),
+		Roots:      pool,
+		Gridmap:    gridmap,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+
+	p, err := proxy.New(testpki.User(b, "mss-bench"), proxy.Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := &Client{Credential: p, Roots: pool, Addr: ln.Addr().String()}
+	b.Cleanup(func() { cli.Close() })
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Put("bench-object", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cli.Get("bench-object"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

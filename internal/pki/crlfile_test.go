@@ -1,0 +1,115 @@
+package pki
+
+import (
+	"crypto/x509"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCRLPEMRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	keys := sharedKeys(t)
+	cert, err := ca.Issue(IssueRequest{Subject: MustParseDN("/CN=crl-victim"), PublicKey: &keys[1].PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Revoke(cert)
+	crl, err := ca.CRL(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeCRLPEM(crl)
+	back, err := DecodeCRLsPEM(data)
+	if err != nil || len(back) != 1 {
+		t.Fatalf("DecodeCRLsPEM: %d, %v", len(back), err)
+	}
+	if len(back[0].RevokedCertificateEntries) != 1 {
+		t.Errorf("entries = %d", len(back[0].RevokedCertificateEntries))
+	}
+	if _, err := DecodeCRLsPEM([]byte("garbage")); err == nil {
+		t.Error("garbage decoded as CRL")
+	}
+}
+
+func TestLoadCRLs(t *testing.T) {
+	ca := newTestCA(t)
+	crl, err := ca.CRL(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ca.crl")
+	if err := os.WriteFile(path, EncodeCRLPEM(crl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crls, err := LoadCRLs(path)
+	if err != nil || len(crls) != 1 {
+		t.Fatalf("LoadCRLs: %d, %v", len(crls), err)
+	}
+	if _, err := LoadCRLs(filepath.Join(t.TempDir(), "missing.crl")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestRevocationChecker(t *testing.T) {
+	ca := newTestCA(t)
+	keys := sharedKeys(t)
+	revoked, err := ca.Issue(IssueRequest{Subject: MustParseDN("/CN=revoked"), PublicKey: &keys[1].PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := ca.Issue(IssueRequest{Subject: MustParseDN("/CN=still-good"), PublicKey: &keys[1].PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Revoke(revoked)
+	crl, err := ca.CRL(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRevocationChecker(
+		[]*x509.RevocationList{crl}, []*x509.Certificate{ca.Certificate()}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.IsRevoked(revoked) {
+		t.Error("revoked certificate not flagged")
+	}
+	if rc.IsRevoked(valid) {
+		t.Error("valid certificate flagged")
+	}
+	if rc.Count() != 1 {
+		t.Errorf("Count = %d", rc.Count())
+	}
+}
+
+func TestRevocationCheckerRejectsUntrustedCRL(t *testing.T) {
+	ca := newTestCA(t)
+	keys := sharedKeys(t)
+	other, err := NewCA(CAConfig{Name: MustParseDN("/CN=Other CRL CA"), Key: keys[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crl, err := ca.CRL(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trust pool contains only the *other* CA: the CRL signature check
+	// must fail.
+	if _, err := NewRevocationChecker([]*x509.RevocationList{crl}, []*x509.Certificate{other.Certificate()}, time.Now()); err == nil {
+		t.Fatal("CRL accepted from untrusted signer")
+	}
+}
+
+func TestRevocationCheckerRejectsStaleCRL(t *testing.T) {
+	ca := newTestCA(t)
+	crl, err := ca.CRL(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if _, err := NewRevocationChecker([]*x509.RevocationList{crl}, []*x509.Certificate{ca.Certificate()}, future); err == nil {
+		t.Fatal("stale CRL accepted")
+	}
+}

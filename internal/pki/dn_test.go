@@ -1,0 +1,175 @@
+package pki
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDNRoundTrip(t *testing.T) {
+	cases := []string{
+		"/C=US/O=Example Grid/CN=Jane Doe",
+		"/C=US/O=Globus/O=ANL/OU=MCS/CN=Steven Tuecke",
+		"/DC=org/DC=example/CN=myproxy.example.org",
+		"/CN=Test CA",
+		"/C=US/ST=Illinois/L=Chicago/O=UChicago/OU=DSL/CN=Von Welch/E=vwelch@example.org",
+	}
+	for _, s := range cases {
+		dn, err := ParseDN(s)
+		if err != nil {
+			t.Fatalf("ParseDN(%q): %v", s, err)
+		}
+		if got := dn.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseDNSlashInCN(t *testing.T) {
+	// Globus host DNs contain "CN=host/name"; the slash splits components,
+	// which is the historical ambiguity — our parser treats each segment as
+	// attr=value, so "CN=host/portal.example.org" only parses because the
+	// second segment has no '='... it does not, so expect an error for a
+	// bare continuation segment.
+	_, err := ParseDN("/C=US/CN=host/noequals")
+	if err == nil {
+		t.Fatal("expected error for component without '='")
+	}
+}
+
+func TestParseDNErrors(t *testing.T) {
+	for _, s := range []string{"", "CN=x", "/CN=", "/=x", "/FOO=bar", "/CN"} {
+		if _, err := ParseDN(s); err == nil {
+			t.Errorf("ParseDN(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseDNCaseInsensitiveAttr(t *testing.T) {
+	dn, err := ParseDN("/c=US/o=Grid/cn=jdoe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.String() != "/C=US/O=Grid/CN=jdoe" {
+		t.Errorf("got %q", dn.String())
+	}
+}
+
+func TestParseDNEmailAddressAlias(t *testing.T) {
+	dn, err := ParseDN("/CN=x/emailAddress=a@b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn[1].Type != "E" {
+		t.Errorf("emailAddress not normalized: %+v", dn[1])
+	}
+}
+
+func TestDNEqual(t *testing.T) {
+	a := MustParseDN("/C=US/O=Grid/CN=jdoe")
+	b := MustParseDN("/C=US/O=Grid/CN=jdoe")
+	c := MustParseDN("/C=US/O=Grid/CN=other")
+	d := MustParseDN("/O=Grid/C=US/CN=jdoe") // order matters
+	if !a.Equal(b) {
+		t.Error("identical DNs not equal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(a[:2]) {
+		t.Error("distinct DNs reported equal")
+	}
+}
+
+func TestDNWithCN(t *testing.T) {
+	base := MustParseDN("/C=US/O=Grid/CN=jdoe")
+	p := base.WithCN("proxy")
+	if p.String() != "/C=US/O=Grid/CN=jdoe/CN=proxy" {
+		t.Errorf("got %q", p.String())
+	}
+	// The original must be unchanged (no aliasing through append).
+	if base.String() != "/C=US/O=Grid/CN=jdoe" {
+		t.Errorf("base mutated: %q", base.String())
+	}
+	// Appending twice from the same base must not overwrite.
+	q := base.WithCN("limited proxy")
+	if p.String() == q.String() {
+		t.Error("WithCN results alias each other")
+	}
+}
+
+func TestDNCommonName(t *testing.T) {
+	if cn := MustParseDN("/C=US/CN=a/CN=b").CommonName(); cn != "b" {
+		t.Errorf("CommonName = %q, want b", cn)
+	}
+	if cn := (DN{{Type: "C", Value: "US"}}).CommonName(); cn != "" {
+		t.Errorf("CommonName = %q, want empty", cn)
+	}
+}
+
+func TestDNMarshalParseRawRoundTrip(t *testing.T) {
+	cases := []DN{
+		MustParseDN("/C=US/O=Example Grid/OU=People/CN=Jane Doe"),
+		MustParseDN("/DC=org/DC=example/CN=myproxy.example.org"),
+		MustParseDN("/CN=Test CA"),
+		MustParseDN("/C=US/CN=José Ñuñez"), // non-ASCII forces UTF8String
+	}
+	for _, dn := range cases {
+		der, err := dn.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal(%s): %v", dn, err)
+		}
+		back, err := ParseRawDN(der)
+		if err != nil {
+			t.Fatalf("ParseRawDN(%s): %v", dn, err)
+		}
+		if !dn.Equal(back) {
+			t.Errorf("round trip: %s -> %s", dn, back)
+		}
+	}
+}
+
+func TestDNMarshalEmpty(t *testing.T) {
+	if _, err := (DN{}).Marshal(); err == nil {
+		t.Fatal("expected error marshaling empty DN")
+	}
+}
+
+func TestParseRawDNTrailingGarbage(t *testing.T) {
+	der, err := MustParseDN("/CN=x").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseRawDN(append(der, 0x00)); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+}
+
+// Property: any DN built from printable components round-trips through
+// DER marshal/parse.
+func TestDNMarshalRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r < 0x20 || r == 0x7f {
+				return -1
+			}
+			return r
+		}, s)
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	f := func(cn, org string) bool {
+		dn := DN{{Type: "O", Value: sanitize(org)}, {Type: "CN", Value: sanitize(cn)}}
+		der, err := dn.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := ParseRawDN(der)
+		if err != nil {
+			return false
+		}
+		return dn.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

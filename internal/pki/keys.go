@@ -1,0 +1,105 @@
+package pki
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// DefaultKeyBits is the RSA modulus size used for new credentials when the
+// caller does not specify one. 2048 bits is the smallest size modern
+// verifiers accept; the 2001-era deployment used 512/1024-bit keys.
+const DefaultKeyBits = 2048
+
+// GenerateKey creates a new RSA private key of the given modulus size.
+// bits == 0 selects DefaultKeyBits.
+func GenerateKey(bits int) (*rsa.PrivateKey, error) {
+	if bits == 0 {
+		bits = DefaultKeyBits
+	}
+	if bits < 1024 {
+		return nil, fmt.Errorf("pki: refusing to generate %d-bit RSA key (minimum 1024)", bits)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate RSA key: %w", err)
+	}
+	return key, nil
+}
+
+// PEM block types used for Grid credentials on disk.
+const (
+	pemTypeCertificate = "CERTIFICATE"
+	pemTypeRSAKey      = "RSA PRIVATE KEY"
+)
+
+// EncodeKeyPEM renders a private key in PKCS#1 PEM form, the on-disk format
+// grid-proxy-init and the MyProxy tools use for unencrypted proxy keys
+// (paper §2.3: proxy credentials are stored unencrypted, protected only by
+// file permissions).
+func EncodeKeyPEM(key *rsa.PrivateKey) []byte {
+	return pem.EncodeToMemory(&pem.Block{
+		Type:  pemTypeRSAKey,
+		Bytes: x509.MarshalPKCS1PrivateKey(key),
+	})
+}
+
+// DecodeKeyPEM parses the first RSA PRIVATE KEY block in data.
+func DecodeKeyPEM(data []byte) (*rsa.PrivateKey, error) {
+	for block, rest := pem.Decode(data); block != nil; block, rest = pem.Decode(rest) {
+		if block.Type != pemTypeRSAKey {
+			continue
+		}
+		key, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("pki: parse RSA key: %w", err)
+		}
+		return key, nil
+	}
+	return nil, errors.New("pki: no RSA PRIVATE KEY block found")
+}
+
+// EncodeCertPEM renders one certificate in PEM form.
+func EncodeCertPEM(cert *x509.Certificate) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: pemTypeCertificate, Bytes: cert.Raw})
+}
+
+// EncodeCertsPEM renders a certificate chain, leaf first, in PEM form.
+func EncodeCertsPEM(certs []*x509.Certificate) []byte {
+	var out []byte
+	for _, c := range certs {
+		out = append(out, EncodeCertPEM(c)...)
+	}
+	return out
+}
+
+// DecodeCertsPEM parses every CERTIFICATE block in data, in order.
+func DecodeCertsPEM(data []byte) ([]*x509.Certificate, error) {
+	var certs []*x509.Certificate
+	for block, rest := pem.Decode(data); block != nil; block, rest = pem.Decode(rest) {
+		if block.Type != pemTypeCertificate {
+			continue
+		}
+		c, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("pki: parse certificate: %w", err)
+		}
+		certs = append(certs, c)
+	}
+	if len(certs) == 0 {
+		return nil, errors.New("pki: no CERTIFICATE blocks found")
+	}
+	return certs, nil
+}
+
+// DecodeCertPEM parses the first CERTIFICATE block in data.
+func DecodeCertPEM(data []byte) (*x509.Certificate, error) {
+	certs, err := DecodeCertsPEM(data)
+	if err != nil {
+		return nil, err
+	}
+	return certs[0], nil
+}

@@ -1,0 +1,66 @@
+package pki
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDecodeKeyPEMSkipsOtherBlocks(t *testing.T) {
+	cred := testCredential(t)
+	// Certificate first, then key: DecodeKeyPEM must skip to the key.
+	data := append(EncodeCertPEM(cred.Certificate), EncodeKeyPEM(cred.PrivateKey)...)
+	key, err := DecodeKeyPEM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.N.Cmp(cred.PrivateKey.N) != 0 {
+		t.Error("wrong key returned")
+	}
+	if _, err := DecodeKeyPEM(EncodeCertPEM(cred.Certificate)); err == nil {
+		t.Error("cert-only data yielded a key")
+	}
+	if _, err := DecodeKeyPEM(nil); err == nil {
+		t.Error("empty data yielded a key")
+	}
+}
+
+func TestDecodeCertsPEMSkipsKeyBlocks(t *testing.T) {
+	cred := testCredential(t)
+	data := append(EncodeKeyPEM(cred.PrivateKey), EncodeCertPEM(cred.Certificate)...)
+	certs, err := DecodeCertsPEM(data)
+	if err != nil || len(certs) != 1 {
+		t.Fatalf("DecodeCertsPEM = %d, %v", len(certs), err)
+	}
+	if !bytes.Equal(certs[0].Raw, cred.Certificate.Raw) {
+		t.Error("wrong certificate")
+	}
+	if _, err := DecodeCertsPEM([]byte("no pem here")); err == nil {
+		t.Error("garbage yielded certificates")
+	}
+}
+
+func TestEncodeCertsPEMEmpty(t *testing.T) {
+	if out := EncodeCertsPEM(nil); len(out) != 0 {
+		t.Errorf("EncodeCertsPEM(nil) = %q", out)
+	}
+}
+
+func TestGenerateKeyDefaultBits(t *testing.T) {
+	key, err := GenerateKey(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.N.BitLen() != DefaultKeyBits {
+		t.Errorf("default key size = %d", key.N.BitLen())
+	}
+}
+
+func TestDecodeCredentialPEMMissingPieces(t *testing.T) {
+	cred := testCredential(t)
+	if _, err := DecodeCredentialPEM(EncodeCertPEM(cred.Certificate), nil); err == nil {
+		t.Error("credential without key decoded")
+	}
+	if _, err := DecodeCredentialPEM(EncodeKeyPEM(cred.PrivateKey), nil); err == nil {
+		t.Error("credential without certificate decoded")
+	}
+}

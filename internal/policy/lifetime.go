@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"time"
+)
+
+// LifetimePolicy bounds credential lifetimes on the repository (paper §4.1,
+// §4.3: "The maximum lifetime of credentials delegated to the repository is
+// set by policy on the repository server, but defaults to one week"; proxies
+// retrieved by portals default to "a few hours").
+type LifetimePolicy struct {
+	// MaxStored bounds how long a credential delegated *to* the repository
+	// may remain valid; 0 selects DefaultMaxStoredLifetime.
+	MaxStored time.Duration
+	// MaxDelegated bounds proxies the repository delegates *out*;
+	// 0 selects DefaultMaxDelegatedLifetime.
+	MaxDelegated time.Duration
+}
+
+// Defaults from the paper.
+const (
+	// DefaultStoredLifetime is what myproxy-init requests when the user
+	// does not specify one: one week (§4.1).
+	DefaultStoredLifetime = 7 * 24 * time.Hour
+	// DefaultMaxStoredLifetime caps stored credentials server-side (§4.3).
+	DefaultMaxStoredLifetime = 7 * 24 * time.Hour
+	// DefaultDelegatedLifetime is what myproxy-get-delegation requests by
+	// default: a couple of hours (§4.3 "normally on the order of a few
+	// hours").
+	DefaultDelegatedLifetime = 2 * time.Hour
+	// DefaultMaxDelegatedLifetime caps delegated proxies server-side.
+	DefaultMaxDelegatedLifetime = 12 * time.Hour
+)
+
+// ClampStored applies the stored-credential cap to a requested lifetime.
+// Non-positive requests select the request default before clamping.
+func (p LifetimePolicy) ClampStored(requested time.Duration) time.Duration {
+	if requested <= 0 {
+		requested = DefaultStoredLifetime
+	}
+	max := p.MaxStored
+	if max <= 0 {
+		max = DefaultMaxStoredLifetime
+	}
+	if requested > max {
+		return max
+	}
+	return requested
+}
+
+// ClampDelegated applies the delegated-proxy cap to a requested lifetime.
+func (p LifetimePolicy) ClampDelegated(requested time.Duration) time.Duration {
+	if requested <= 0 {
+		requested = DefaultDelegatedLifetime
+	}
+	max := p.MaxDelegated
+	if max <= 0 {
+		max = DefaultMaxDelegatedLifetime
+	}
+	if requested > max {
+		return max
+	}
+	return requested
+}
+
+// ClampDelegatedWithRestriction additionally honors the per-credential
+// retrieval restriction the owner registered at myproxy-init time
+// (paper §4.1: "retrieval restrictions are currently limited to a maximum
+// lifetime for proxy credentials that the repository may delegate on the
+// user's behalf"). ownerMax <= 0 means the owner imposed no restriction.
+func (p LifetimePolicy) ClampDelegatedWithRestriction(requested, ownerMax time.Duration) time.Duration {
+	lifetime := p.ClampDelegated(requested)
+	if ownerMax > 0 && lifetime > ownerMax {
+		return ownerMax
+	}
+	return lifetime
+}

@@ -1,0 +1,115 @@
+package portal
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/testpki"
+)
+
+// browserFor builds a cookie-jarred HTTPS client that dials the given
+// portal address while presenting SNI for "portal.test".
+func browserFor(t *testing.T, portalAddr string) *http.Client {
+	t.Helper()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Client{
+		Jar: jar,
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: testRoots(t), ServerName: "portal.test"},
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, portalAddr)
+			},
+		},
+	}
+}
+
+// Paper §4.3: "The user might also specify a MyProxy repository for the
+// portal to use, assuming it's configured to use more than one."
+func TestPortalUserSpecifiedRepository(t *testing.T) {
+	g := startGrid(t) // default repo; alice NOT deposited there
+
+	// A second repository where alice's credential actually lives.
+	repo2, err := core.NewServer(core.ServerConfig{
+		Credential:           testpki.Host(t, "myproxy.test"),
+		Roots:                testRoots(t),
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Test Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("*/CN=portal.test"),
+		KDFIterations:        64,
+		DelegationKeyBits:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go repo2.Serve(ln2)
+	t.Cleanup(func() { repo2.Close() })
+
+	cli := &core.Client{
+		Credential:     testpki.User(t, "portal-alice"),
+		Roots:          testRoots(t),
+		Addr:           ln2.Addr().String(),
+		ExpectedServer: "*/CN=myproxy.test",
+		KeyBits:        1024,
+	}
+	if err := cli.Put(context.Background(), core.PutOptions{
+		Username: "alice", Passphrase: "alice portal pass", Lifetime: 24 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without AllowUserRepos the portal (built by startGrid) ignores the
+	// repository form field and login fails (alice is not on repo 1).
+	resp, _ := g.postForm(t, "/api/login", url.Values{
+		"username": {"alice"}, "passphrase": {"alice portal pass"},
+		"repository": {ln2.Addr().String()},
+	})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("user-repo honored without AllowUserRepos: %d", resp.StatusCode)
+	}
+
+	// A portal configured with AllowUserRepos honors the field.
+	p, err := New(Config{
+		Credential:      testpki.Host(t, "portal.test"),
+		Roots:           testRoots(t),
+		MyProxyAddr:     g.repoAddr, // default still repo 1
+		ExpectedMyProxy: "*/CN=myproxy.test",
+		AllowUserRepos:  true,
+		KeyBits:         1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	portalLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(portalLn)
+	t.Cleanup(func() { portalLn.Close() })
+	browser := browserFor(t, portalLn.Addr().String())
+	resp2, err := browser.PostForm("https://portal.test/api/login", url.Values{
+		"username": {"alice"}, "passphrase": {"alice portal pass"},
+		"repository": {ln2.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("login via user-specified repository = %d", resp2.StatusCode)
+	}
+}

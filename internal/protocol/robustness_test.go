@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parsers must never panic, whatever bytes arrive: the repository reads
+// these messages straight off the network.
+func TestParseRequestNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseRequest panicked on %q: %v", data, r)
+			}
+		}()
+		req, err := ParseRequest(data)
+		// Either a valid request or an error — never both nil.
+		return (req == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseResponseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseResponse panicked on %q: %v", data, r)
+			}
+		}()
+		resp, err := ParseResponse(data)
+		return (resp == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prefix-mutation: valid requests with flipped bytes must parse cleanly or
+// fail cleanly.
+func TestParseRequestMutations(t *testing.T) {
+	base, err := MarshalRequest(&Request{
+		Command: CmdGet, Username: "jdoe", Passphrase: "secret", CredName: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(base); i++ {
+		for _, b := range []byte{0x00, 0xff, '\n', '='} {
+			mutated := append([]byte(nil), base...)
+			mutated[i] = b
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at offset %d byte %x: %v", i, b, r)
+					}
+				}()
+				ParseRequest(mutated)
+			}()
+		}
+	}
+}
+
+func BenchmarkMarshalRequest(b *testing.B) {
+	req := &Request{
+		Command: CmdGet, Username: "jdoe", Passphrase: "a pass phrase",
+		Lifetime: 7200e9, CredName: "cluster-a", TaskHint: "job-submit",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	data, err := MarshalRequest(&Request{
+		Command: CmdGet, Username: "jdoe", Passphrase: "a pass phrase",
+		Lifetime: 7200e9, CredName: "cluster-a", TaskHint: "job-submit",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRequest(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package proxy
+
+import (
+	"crypto/x509"
+	"fmt"
+
+	"repro/internal/pki"
+)
+
+// Description summarizes a certificate's proxy nature for display
+// (grid-proxy-info and logs).
+type Description struct {
+	// Kind is a human-readable classification, e.g. "legacy proxy" or
+	// "RFC 3820 proxy (limited)".
+	Kind string
+	// IsProxy reports whether the certificate is a proxy at all.
+	IsProxy bool
+	// Limited / Independent / RestrictedOps mirror the policy semantics.
+	Limited       bool
+	Independent   bool
+	RestrictedOps []string
+	// PathLenConstraint is -1 when absent/unlimited.
+	PathLenConstraint int
+}
+
+// Describe classifies a single certificate.
+func Describe(cert *x509.Certificate) (*Description, error) {
+	d := &Description{PathLenConstraint: -1}
+	if !IsProxy(cert) {
+		if cert.IsCA {
+			d.Kind = "certificate authority"
+		} else {
+			d.Kind = "end-entity certificate"
+		}
+		return d, nil
+	}
+	d.IsProxy = true
+	ci, ok, err := InfoFromCert(cert)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		dn, err := pki.ParseRawDN(cert.RawSubject)
+		if err != nil {
+			return nil, err
+		}
+		if dn.CommonName() == "limited proxy" {
+			d.Kind = "legacy proxy (limited)"
+			d.Limited = true
+		} else {
+			d.Kind = "legacy proxy"
+		}
+		return d, nil
+	}
+	d.PathLenConstraint = ci.PathLenConstraint
+	switch {
+	case ci.PolicyLanguage.Equal(OIDPolicyInheritAll):
+		d.Kind = "RFC 3820 proxy (inherit all)"
+	case ci.PolicyLanguage.Equal(OIDPolicyLimited):
+		d.Kind = "RFC 3820 proxy (limited)"
+		d.Limited = true
+	case ci.PolicyLanguage.Equal(OIDPolicyIndependent):
+		d.Kind = "RFC 3820 proxy (independent)"
+		d.Independent = true
+	case ci.PolicyLanguage.Equal(OIDPolicyRestrictedOps):
+		ops, err := decodeOps(ci.Policy)
+		if err != nil {
+			return nil, err
+		}
+		d.RestrictedOps = ops
+		d.Kind = fmt.Sprintf("RFC 3820 proxy (restricted: %v)", ops)
+	default:
+		d.Kind = fmt.Sprintf("RFC 3820 proxy (policy %v)", ci.PolicyLanguage)
+	}
+	return d, nil
+}
+
+// String renders the classification with any path-length constraint.
+func (d *Description) String() string {
+	if d.PathLenConstraint >= 0 {
+		return fmt.Sprintf("%s, pathlen %d", d.Kind, d.PathLenConstraint)
+	}
+	return d.Kind
+}

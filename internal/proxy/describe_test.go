@@ -1,0 +1,74 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testpki"
+)
+
+func TestDescribe(t *testing.T) {
+	user := testpki.User(t, "describe-alice")
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"legacy", Options{Type: Legacy}, "legacy proxy"},
+		{"legacy-limited", Options{Type: LegacyLimited}, "legacy proxy (limited)"},
+		{"rfc", Options{Type: RFC3820}, "RFC 3820 proxy (inherit all)"},
+		{"rfc-limited", Options{Type: RFC3820Limited}, "RFC 3820 proxy (limited)"},
+		{"rfc-independent", Options{Type: RFC3820Independent}, "RFC 3820 proxy (independent)"},
+		{"rfc-restricted", Options{Type: RFC3820Restricted, RestrictedOps: []string{OpFileRead}},
+			"RFC 3820 proxy (restricted: [file-read])"},
+	}
+	for _, tc := range cases {
+		tc.opts.Lifetime = time.Hour
+		tc.opts.KeyBits = 1024
+		p, err := New(user, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		d, err := Describe(p.Certificate)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d.Kind != tc.want {
+			t.Errorf("%s: kind = %q, want %q", tc.name, d.Kind, tc.want)
+		}
+		if !d.IsProxy {
+			t.Errorf("%s: IsProxy = false", tc.name)
+		}
+	}
+}
+
+func TestDescribeNonProxies(t *testing.T) {
+	user := testpki.User(t, "describe-alice")
+	d, err := Describe(user.Certificate)
+	if err != nil || d.IsProxy || d.Kind != "end-entity certificate" {
+		t.Errorf("EEC: %+v, %v", d, err)
+	}
+	d, err = Describe(testpki.CA(t).Certificate())
+	if err != nil || d.Kind != "certificate authority" {
+		t.Errorf("CA: %+v, %v", d, err)
+	}
+}
+
+func TestDescribePathLen(t *testing.T) {
+	user := testpki.User(t, "describe-alice")
+	p, err := New(user, Options{Type: RFC3820, PathLenConstraint: PathLen(2), Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Describe(p.Certificate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PathLenConstraint != 2 {
+		t.Errorf("pathlen = %d", d.PathLenConstraint)
+	}
+	if !strings.Contains(d.String(), "pathlen 2") {
+		t.Errorf("String() = %q", d.String())
+	}
+}

@@ -1,0 +1,183 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/asn1"
+	"testing"
+	"testing/quick"
+)
+
+func TestCertInfoRoundTrip(t *testing.T) {
+	cases := []CertInfo{
+		{PathLenConstraint: -1, PolicyLanguage: OIDPolicyInheritAll},
+		{PathLenConstraint: 0, PolicyLanguage: OIDPolicyInheritAll},
+		{PathLenConstraint: 3, PolicyLanguage: OIDPolicyLimited},
+		{PathLenConstraint: -1, PolicyLanguage: OIDPolicyIndependent},
+		{PathLenConstraint: 2, PolicyLanguage: OIDPolicyRestrictedOps, Policy: []byte("job-submit\nfile-read")},
+	}
+	for _, ci := range cases {
+		der, err := ci.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", ci, err)
+		}
+		back, err := ParseCertInfo(der)
+		if err != nil {
+			t.Fatalf("ParseCertInfo(%+v): %v", ci, err)
+		}
+		if back.PathLenConstraint != ci.PathLenConstraint {
+			t.Errorf("pathlen: got %d want %d", back.PathLenConstraint, ci.PathLenConstraint)
+		}
+		if !back.PolicyLanguage.Equal(ci.PolicyLanguage) {
+			t.Errorf("language: got %v want %v", back.PolicyLanguage, ci.PolicyLanguage)
+		}
+		if !bytes.Equal(back.Policy, ci.Policy) {
+			t.Errorf("policy: got %q want %q", back.Policy, ci.Policy)
+		}
+	}
+}
+
+func TestCertInfoMarshalRequiresLanguage(t *testing.T) {
+	if _, err := (&CertInfo{PathLenConstraint: -1}).Marshal(); err == nil {
+		t.Fatal("expected error without policy language")
+	}
+}
+
+func TestParseCertInfoGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0x30}, {0x02, 0x01, 0x05}, []byte("not asn1")} {
+		if _, err := ParseCertInfo(b); err == nil {
+			t.Errorf("ParseCertInfo(%x): expected error", b)
+		}
+	}
+}
+
+func TestParseCertInfoTrailingBytes(t *testing.T) {
+	der, err := (&CertInfo{PathLenConstraint: -1, PolicyLanguage: OIDPolicyInheritAll}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCertInfo(append(der, 0x00)); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+}
+
+func TestExtensionIsCritical(t *testing.T) {
+	ci := &CertInfo{PathLenConstraint: -1, PolicyLanguage: OIDPolicyInheritAll}
+	ext, err := ci.Extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Critical {
+		t.Error("ProxyCertInfo extension must be critical (RFC 3820 §3.8)")
+	}
+	if !ext.Id.Equal(OIDProxyCertInfo) {
+		t.Errorf("extension OID %v", ext.Id)
+	}
+}
+
+// Property: round trip preserves arbitrary path lengths and policy bodies.
+func TestCertInfoRoundTripProperty(t *testing.T) {
+	f := func(pathLen uint8, policy []byte) bool {
+		ci := CertInfo{
+			PathLenConstraint: int(pathLen),
+			PolicyLanguage:    OIDPolicyRestrictedOps,
+			Policy:            policy,
+		}
+		der, err := ci.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := ParseCertInfo(der)
+		if err != nil {
+			return false
+		}
+		// encoding/asn1 decodes an absent optional OCTET STRING as nil;
+		// treat nil and empty as equivalent.
+		return back.PathLenConstraint == ci.PathLenConstraint &&
+			back.PolicyLanguage.Equal(ci.PolicyLanguage) &&
+			bytes.Equal(back.Policy, ci.Policy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsCodec(t *testing.T) {
+	ops := []string{"job-submit", "file-read"}
+	body := encodeOps(ops)
+	back, err := decodeOps(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != "job-submit" || back[1] != "file-read" {
+		t.Errorf("decodeOps = %v", back)
+	}
+	if _, err := decodeOps(nil); err == nil {
+		t.Error("empty body must be rejected")
+	}
+	if _, err := decodeOps([]byte("  \n \n")); err == nil {
+		t.Error("whitespace-only body must be rejected")
+	}
+}
+
+func TestIntersectOps(t *testing.T) {
+	cases := []struct {
+		prev, next, want []string
+	}{
+		{nil, []string{"a", "b"}, []string{"a", "b"}},
+		{[]string{"a", "b"}, []string{"b", "c"}, []string{"b"}},
+		{[]string{"a"}, []string{"b"}, []string{}},
+		{[]string{}, []string{"a"}, []string{}},
+	}
+	for _, tc := range cases {
+		got := intersectOps(tc.prev, tc.next)
+		if len(got) != len(tc.want) {
+			t.Errorf("intersectOps(%v,%v) = %v, want %v", tc.prev, tc.next, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("intersectOps(%v,%v) = %v, want %v", tc.prev, tc.next, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestResultPermits(t *testing.T) {
+	full := &Result{}
+	if !full.Permits(OpJobSubmit) || !full.Permits(OpFileWrite) {
+		t.Error("full proxy must inherit all rights")
+	}
+	limited := &Result{Limited: true}
+	if limited.Permits(OpJobSubmit) {
+		t.Error("limited proxy must not submit jobs")
+	}
+	if !limited.Permits(OpFileRead) {
+		t.Error("limited proxy may still read files")
+	}
+	indep := &Result{Independent: true}
+	if indep.Permits(OpFileRead) {
+		t.Error("independent proxy inherits nothing")
+	}
+	restricted := &Result{RestrictedOps: []string{OpFileRead}}
+	if !restricted.Permits(OpFileRead) || restricted.Permits(OpJobSubmit) {
+		t.Error("restricted proxy must permit exactly its listed ops")
+	}
+	emptyRestriction := &Result{RestrictedOps: []string{}}
+	if emptyRestriction.Permits(OpFileRead) {
+		t.Error("empty restriction set must permit nothing")
+	}
+}
+
+func TestOIDsDistinct(t *testing.T) {
+	oids := []asn1.ObjectIdentifier{
+		OIDProxyCertInfo, OIDPolicyInheritAll, OIDPolicyIndependent,
+		OIDPolicyLimited, OIDPolicyRestrictedOps,
+	}
+	for i := range oids {
+		for j := i + 1; j < len(oids); j++ {
+			if oids[i].Equal(oids[j]) {
+				t.Errorf("OIDs %d and %d collide: %v", i, j, oids[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package proxy
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"repro/internal/testpki"
+)
+
+// Chain-order attacks: rearranged, truncated, or padded chains must never
+// verify to the user's identity.
+func TestVerifyRejectsShuffledChains(t *testing.T) {
+	user := testpki.User(t, "shuffle-alice")
+	p1, err := New(user, Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(p1, Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := p2.CertChain() // [p2, p1, EEC]
+	if _, err := Verify(good, VerifyOptions{Roots: rootPool(t)}); err != nil {
+		t.Fatalf("baseline chain rejected: %v", err)
+	}
+
+	bad := map[string][]*x509.Certificate{
+		"middle-dropped":    {good[0], good[2]},
+		"leaf-duplicated":   {good[0], good[0], good[1], good[2]},
+		"parent-before-eec": {good[1], good[0], good[2]},
+	}
+	for name, chain := range bad {
+		if _, err := Verify(chain, VerifyOptions{Roots: rootPool(t)}); err == nil {
+			t.Errorf("%s chain verified", name)
+		}
+	}
+	// Chains that START with the EEC verify as the bare EEC (depth 0):
+	// identity always derives from the leaf side, and possession of the
+	// leaf key is what the transport proves. The trailing proxies are
+	// inert pool entries.
+	for name, chain := range map[string][]*x509.Certificate{
+		"reversed":  {good[2], good[1], good[0]},
+		"eec-first": {good[2], good[0], good[1]},
+	} {
+		res, err := Verify(chain, VerifyOptions{Roots: rootPool(t)})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Depth != 0 || res.IdentityString() != user.Subject() {
+			t.Errorf("%s: depth=%d identity=%q", name, res.Depth, res.IdentityString())
+		}
+	}
+}
+
+// A proxy from one user's chain spliced above another user's EEC must be
+// rejected even though every certificate is individually valid.
+func TestVerifyRejectsSplicedChains(t *testing.T) {
+	alice := testpki.User(t, "shuffle-alice")
+	bob := testpki.User(t, "shuffle-bob")
+	pAlice, err := New(alice, Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliced := []*x509.Certificate{pAlice.Certificate, bob.Certificate}
+	if _, err := Verify(spliced, VerifyOptions{Roots: rootPool(t)}); err == nil {
+		t.Fatal("spliced chain verified")
+	}
+}
+
+// Extra unrelated certificates after the EEC (junk intermediates) must not
+// break verification of an otherwise valid chain — stdlib path building
+// ignores unusable pool entries.
+func TestVerifyToleratesJunkIntermediates(t *testing.T) {
+	alice := testpki.User(t, "shuffle-alice")
+	bob := testpki.User(t, "shuffle-bob")
+	p, err := New(alice, Options{Lifetime: time.Hour, KeyBits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := append(p.CertChain(), bob.Certificate)
+	res, err := Verify(chain, VerifyOptions{Roots: rootPool(t)})
+	if err != nil {
+		t.Fatalf("chain with junk intermediate rejected: %v", err)
+	}
+	if res.IdentityString() != alice.Subject() {
+		t.Errorf("identity = %q", res.IdentityString())
+	}
+}

@@ -1,0 +1,363 @@
+package proxy
+
+import (
+	"bytes"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pki"
+)
+
+// VerifyOptions configures proxy-aware chain validation.
+type VerifyOptions struct {
+	// Roots are the trusted CA certificates. Required.
+	Roots *x509.CertPool
+	// CurrentTime for validity checks; zero means time.Now().
+	CurrentTime time.Time
+	// MaxDepth bounds the number of proxy certificates in the chain;
+	// 0 means the default of 10.
+	MaxDepth int
+	// IsRevoked, when non-nil, is consulted for every certificate in the
+	// chain (CRL hook).
+	IsRevoked func(*x509.Certificate) bool
+}
+
+// DefaultMaxDepth bounds delegation chains when VerifyOptions.MaxDepth is 0.
+const DefaultMaxDepth = 10
+
+// Result describes a successfully verified chain.
+type Result struct {
+	// EEC is the end-entity certificate: the first non-proxy certificate
+	// in the chain, carrying the user's long-term identity.
+	EEC *x509.Certificate
+	// Identity is the Grid identity: the EEC subject DN. All proxies in
+	// the chain authenticate as this identity (paper §2.3).
+	Identity pki.DN
+	// Depth is the number of proxy certificates between the leaf and the
+	// EEC; 0 means the leaf is the EEC itself.
+	Depth int
+	// Limited reports whether any proxy in the chain is a limited proxy;
+	// limitation is sticky across delegation.
+	Limited bool
+	// Independent reports whether any proxy carries the independent
+	// policy: the chain must not inherit the EEC's rights.
+	Independent bool
+	// RestrictedOps is the intersection of all restricted-operation
+	// policies in the chain; nil means "no restriction" (inherit all).
+	RestrictedOps []string
+	// LeafInfo is the leaf's ProxyCertInfo if it is an RFC-3820 proxy.
+	LeafInfo *CertInfo
+}
+
+// IdentityString returns the Grid identity in Globus string form.
+func (r *Result) IdentityString() string { return r.Identity.String() }
+
+// IsProxy reports whether cert looks like a proxy certificate of either
+// style: it carries a ProxyCertInfo extension, or its subject is its
+// issuer's subject plus a final CN of "proxy" or "limited proxy".
+func IsProxy(cert *x509.Certificate) bool {
+	if _, ok, _ := InfoFromCert(cert); ok {
+		return true
+	}
+	dn, err := pki.ParseRawDN(cert.RawSubject)
+	if err != nil || len(dn) == 0 {
+		return false
+	}
+	last := dn[len(dn)-1]
+	if last.Type != "CN" || (last.Value != "proxy" && last.Value != "limited proxy") {
+		return false
+	}
+	issuer, err := pki.ParseRawDN(cert.RawIssuer)
+	if err != nil {
+		return false
+	}
+	return dn[:len(dn)-1].Equal(issuer)
+}
+
+// Verify validates a certificate chain that may begin with proxy
+// certificates. chain is leaf-first and must reach a certificate issued by
+// one of opts.Roots (intermediate CA certificates may be included after the
+// EEC). It returns the verified identity and proxy attributes.
+//
+// The algorithm splits the chain at the EEC: the EEC-and-above portion is
+// validated with the standard library (CA rules), and each proxy step below
+// the EEC is validated with the RFC-3820 discipline — raw signature check,
+// subject = issuer-subject + one CN, no CA bit, validity window, sticky
+// limitation, path-length accounting, and no style mixing.
+func Verify(chain []*x509.Certificate, opts VerifyOptions) (*Result, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("proxy: empty certificate chain")
+	}
+	if opts.Roots == nil {
+		return nil, errors.New("proxy: VerifyOptions.Roots is required")
+	}
+	now := opts.CurrentTime
+	if now.IsZero() {
+		now = time.Now()
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+
+	// Locate the EEC: first certificate from the leaf that is not a proxy.
+	eecIndex := 0
+	for eecIndex < len(chain) && IsProxy(chain[eecIndex]) {
+		eecIndex++
+	}
+	if eecIndex == len(chain) {
+		return nil, errors.New("proxy: chain contains no end-entity certificate")
+	}
+	depth := eecIndex
+	if depth > maxDepth {
+		return nil, fmt.Errorf("proxy: delegation depth %d exceeds maximum %d", depth, maxDepth)
+	}
+	eec := chain[eecIndex]
+
+	// Validate EEC (and any CA intermediates above it) with stdlib rules.
+	intermediates := x509.NewCertPool()
+	for _, c := range chain[eecIndex+1:] {
+		intermediates.AddCert(c)
+	}
+	if _, err := eec.Verify(x509.VerifyOptions{
+		Roots:         opts.Roots,
+		Intermediates: intermediates,
+		CurrentTime:   now,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return nil, fmt.Errorf("proxy: end-entity verification: %w", err)
+	}
+
+	if opts.IsRevoked != nil {
+		for _, c := range chain {
+			if opts.IsRevoked(c) {
+				return nil, fmt.Errorf("proxy: certificate %q is revoked", c.SerialNumber)
+			}
+		}
+	}
+
+	identity, err := pki.ParseRawDN(eec.RawSubject)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: EEC subject: %w", err)
+	}
+
+	res := &Result{EEC: eec, Identity: identity, Depth: depth}
+
+	// Walk proxy steps from the EEC down to the leaf.
+	style := 0 // 0 unknown, 1 legacy, 2 rfc3820
+	for i := eecIndex - 1; i >= 0; i-- {
+		parent, child := chain[i+1], chain[i]
+		if err := verifyProxyStep(parent, child, now); err != nil {
+			return nil, fmt.Errorf("proxy: step %d (%s): %w", eecIndex-i, childCN(child), err)
+		}
+		ci, isRFC, err := InfoFromCert(child)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: step %d: %w", eecIndex-i, err)
+		}
+		if isRFC {
+			if style == 1 {
+				return nil, errors.New("proxy: chain mixes legacy and RFC-3820 proxies")
+			}
+			style = 2
+			// Path length: a proxy at this level allows at most
+			// ci.PathLenConstraint further proxies below it; "below" is
+			// the i proxies at indexes 0..i-1.
+			if ci.PathLenConstraint >= 0 && i > ci.PathLenConstraint {
+				return nil, fmt.Errorf("proxy: path length constraint %d violated (%d proxies below)",
+					ci.PathLenConstraint, i)
+			}
+			switch {
+			case ci.PolicyLanguage.Equal(OIDPolicyInheritAll):
+				// no change
+			case ci.PolicyLanguage.Equal(OIDPolicyLimited):
+				res.Limited = true
+			case ci.PolicyLanguage.Equal(OIDPolicyIndependent):
+				res.Independent = true
+			case ci.PolicyLanguage.Equal(OIDPolicyRestrictedOps):
+				ops, err := decodeOps(ci.Policy)
+				if err != nil {
+					return nil, err
+				}
+				res.RestrictedOps = intersectOps(res.RestrictedOps, ops)
+			default:
+				return nil, fmt.Errorf("proxy: unknown proxy policy language %v", ci.PolicyLanguage)
+			}
+			if i == 0 {
+				res.LeafInfo = ci
+			}
+		} else {
+			if style == 2 {
+				return nil, errors.New("proxy: chain mixes legacy and RFC-3820 proxies")
+			}
+			style = 1
+			dn, err := pki.ParseRawDN(child.RawSubject)
+			if err != nil {
+				return nil, err
+			}
+			switch dn[len(dn)-1].Value {
+			case "proxy":
+			case "limited proxy":
+				res.Limited = true
+			default:
+				return nil, fmt.Errorf("proxy: legacy proxy CN %q invalid", dn[len(dn)-1].Value)
+			}
+		}
+		// Sticky limitation: once a limited proxy appears, everything
+		// below must also be limited.
+		if res.Limited && i > 0 {
+			below, err := isLimited(chain[i-1])
+			if err != nil {
+				return nil, err
+			}
+			if !below {
+				return nil, errors.New("proxy: full proxy delegated beneath a limited proxy")
+			}
+		}
+	}
+	return res, nil
+}
+
+func childCN(cert *x509.Certificate) string {
+	dn, err := pki.ParseRawDN(cert.RawSubject)
+	if err != nil {
+		return "?"
+	}
+	return dn.CommonName()
+}
+
+// verifyProxyStep checks the invariants of one proxy issuance edge.
+func verifyProxyStep(parent, child *x509.Certificate, now time.Time) error {
+	// Issuer linkage by exact DER comparison.
+	if !bytes.Equal(child.RawIssuer, parent.RawSubject) {
+		return errors.New("issuer does not match signer subject")
+	}
+	// Subject discipline: child subject = parent subject + one CN RDN.
+	childDN, err := pki.ParseRawDN(child.RawSubject)
+	if err != nil {
+		return err
+	}
+	parentDN, err := pki.ParseRawDN(parent.RawSubject)
+	if err != nil {
+		return err
+	}
+	if len(childDN) != len(parentDN)+1 {
+		return errors.New("subject must extend issuer subject by exactly one component")
+	}
+	if !childDN[:len(parentDN)].Equal(parentDN) {
+		return errors.New("subject does not extend issuer subject")
+	}
+	if childDN[len(childDN)-1].Type != "CN" {
+		return errors.New("appended subject component must be a CN")
+	}
+	// Raw signature check: CheckSignatureFrom would reject non-CA parents,
+	// which is the whole point of proxy certificates, so check the
+	// signature directly against the parent key.
+	if err := parent.CheckSignature(child.SignatureAlgorithm, child.RawTBSCertificate, child.Signature); err != nil {
+		return fmt.Errorf("signature: %w", err)
+	}
+	// A proxy must never be a CA and its signer must be allowed to sign.
+	if child.BasicConstraintsValid && child.IsCA {
+		return errors.New("proxy certificate asserts CA basicConstraints")
+	}
+	if ku := parent.KeyUsage; ku != 0 && ku&x509.KeyUsageDigitalSignature == 0 {
+		return errors.New("signer lacks digitalSignature key usage")
+	}
+	if ku := child.KeyUsage; ku != 0 && ku&x509.KeyUsageDigitalSignature == 0 {
+		return errors.New("proxy lacks digitalSignature key usage")
+	}
+	// Validity window of the child itself.
+	if now.Before(child.NotBefore) {
+		return fmt.Errorf("not valid until %v", child.NotBefore)
+	}
+	if now.After(child.NotAfter) {
+		return fmt.Errorf("expired at %v", child.NotAfter)
+	}
+	return nil
+}
+
+// --- restricted-operations policy language ---
+
+// encodeOps renders the restricted-operations policy body: a sorted,
+// newline-separated operation list.
+func encodeOps(ops []string) []byte {
+	return []byte(strings.Join(ops, "\n"))
+}
+
+// decodeOps parses a restricted-operations policy body.
+func decodeOps(body []byte) ([]string, error) {
+	if len(body) == 0 {
+		return nil, errors.New("proxy: restricted policy with empty body")
+	}
+	var ops []string
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ops = append(ops, line)
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("proxy: restricted policy lists no operations")
+	}
+	return ops, nil
+}
+
+// intersectOps narrows an existing restriction with a new one; nil prev
+// means "unrestricted so far".
+func intersectOps(prev, next []string) []string {
+	if prev == nil {
+		if next == nil {
+			return []string{}
+		}
+		out := make([]string, len(next))
+		copy(out, next)
+		return out
+	}
+	allowed := make(map[string]bool, len(next))
+	for _, op := range next {
+		allowed[op] = true
+	}
+	var out []string
+	for _, op := range prev {
+		if allowed[op] {
+			out = append(out, op)
+		}
+	}
+	if out == nil {
+		out = []string{}
+	}
+	return out
+}
+
+// Permits reports whether the verified chain authorizes the named
+// operation. Full proxies inherit all rights; limited proxies are refused
+// process-starting operations (Globus semantics: OpJobSubmit); independent
+// proxies inherit nothing; restricted proxies must list the operation.
+func (r *Result) Permits(operation string) bool {
+	if r.Independent {
+		return false
+	}
+	if r.Limited && operation == OpJobSubmit {
+		return false
+	}
+	if r.RestrictedOps != nil {
+		for _, op := range r.RestrictedOps {
+			if op == operation {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Well-known operation names used by the substrate services.
+const (
+	OpJobSubmit = "job-submit"
+	OpFileRead  = "file-read"
+	OpFileWrite = "file-write"
+	OpDelegate  = "delegate"
+)

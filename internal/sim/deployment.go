@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gram"
+	"repro/internal/gsi"
+	"repro/internal/mss"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/proxy"
+)
+
+// Config sizes a simulated Grid deployment.
+type Config struct {
+	// Repos is the number of MyProxy repositories (paper §3.3: "a portal
+	// should be able to use multiple systems"). Default 1.
+	Repos int
+	// Portals is the number of portal identities (§3.3: "multiple portals
+	// should be able to use a single system"). Default 1.
+	Portals int
+	// Users is the number of user identities. Default 1.
+	Users int
+	// KeyBits sizes all keys; default 1024 for measurement speed (the
+	// 2001 deployment used comparable sizes).
+	KeyBits int
+	// KDFIterations for repository sealing; default 1024 (benchmarks
+	// sweep this; production default is pki.DefaultKDFIterations).
+	KDFIterations int
+	// WithGRAM/WithMSS add those services.
+	WithGRAM bool
+	WithMSS  bool
+}
+
+// Deployment is a running simulated Grid.
+type Deployment struct {
+	CA    *pki.CA
+	Roots *x509.CertPool
+
+	Users      []*pki.Credential // long-term user credentials
+	UserNames  []string          // MyProxy account names, index-aligned
+	Portals    []*pki.Credential // portal host credentials
+	Repos      []*core.Server
+	RepoAddrs  []string
+	GRAM       *gram.Server
+	GRAMAddr   string
+	MSS        *mss.Server
+	MSSAddr    string
+	Gridmap    *gsi.Gridmap
+	Passphrase string
+
+	keyBits   int
+	listeners []net.Listener
+	closers   []func() error
+}
+
+// NewDeployment builds and starts the deployment.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.Repos <= 0 {
+		cfg.Repos = 1
+	}
+	if cfg.Portals <= 0 {
+		cfg.Portals = 1
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 1
+	}
+	if cfg.KeyBits <= 0 {
+		cfg.KeyBits = 1024
+	}
+	if cfg.KDFIterations <= 0 {
+		cfg.KDFIterations = 1024
+	}
+	ca, err := pki.NewCA(pki.CAConfig{
+		Name:    pki.MustParseDN("/C=US/O=Sim Grid/CN=Sim CA"),
+		KeyBits: cfg.KeyBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Certificate())
+
+	d := &Deployment{
+		CA:         ca,
+		Roots:      roots,
+		Gridmap:    gsi.NewGridmap(),
+		Passphrase: "simulation pass phrase",
+		keyBits:    cfg.KeyBits,
+	}
+	base := pki.MustParseDN("/C=US/O=Sim Grid")
+
+	for i := 0; i < cfg.Users; i++ {
+		cred, err := ca.IssueCredential(base.WithCN(fmt.Sprintf("user%03d", i)), 365*24*time.Hour, cfg.KeyBits)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Users = append(d.Users, cred)
+		d.UserNames = append(d.UserNames, fmt.Sprintf("user%03d", i))
+		d.Gridmap.Add(cred.Subject(), fmt.Sprintf("acct%03d", i))
+	}
+	for i := 0; i < cfg.Portals; i++ {
+		cred, err := ca.IssueHostCredential(base, fmt.Sprintf("portal%02d.sim", i), 365*24*time.Hour, cfg.KeyBits)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Portals = append(d.Portals, cred)
+	}
+	for i := 0; i < cfg.Repos; i++ {
+		host, err := ca.IssueHostCredential(base, fmt.Sprintf("myproxy%02d.sim", i), 365*24*time.Hour, cfg.KeyBits)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		srv, err := core.NewServer(core.ServerConfig{
+			Credential:           host,
+			Roots:                roots,
+			AcceptedCredentials:  policy.NewACL("/C=US/O=Sim Grid/*"),
+			AuthorizedRetrievers: policy.NewACL("/C=US/O=Sim Grid/*"),
+			AuthorizedRenewers:   policy.NewACL("/C=US/O=Sim Grid/*"),
+			KDFIterations:        cfg.KDFIterations,
+			DelegationKeyBits:    cfg.KeyBits,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		d.Repos = append(d.Repos, srv)
+		d.RepoAddrs = append(d.RepoAddrs, ln.Addr().String())
+		d.listeners = append(d.listeners, ln)
+		d.closers = append(d.closers, srv.Close)
+	}
+	if cfg.WithGRAM {
+		host, err := ca.IssueHostCredential(base, "gram.sim", 365*24*time.Hour, cfg.KeyBits)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		srv, err := gram.NewServer(gram.Config{Credential: host, Roots: roots, Gridmap: d.Gridmap})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		d.GRAM, d.GRAMAddr = srv, ln.Addr().String()
+		d.listeners = append(d.listeners, ln)
+		d.closers = append(d.closers, srv.Close)
+	}
+	if cfg.WithMSS {
+		host, err := ca.IssueHostCredential(base, "mss.sim", 365*24*time.Hour, cfg.KeyBits)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		srv, err := mss.NewServer(mss.Config{Credential: host, Roots: roots, Gridmap: d.Gridmap})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		d.MSS, d.MSSAddr = srv, ln.Addr().String()
+		d.listeners = append(d.listeners, ln)
+		d.closers = append(d.closers, srv.Close)
+	}
+	return d, nil
+}
+
+// Close tears everything down.
+func (d *Deployment) Close() {
+	for _, ln := range d.listeners {
+		ln.Close()
+	}
+	for _, c := range d.closers {
+		c()
+	}
+}
+
+// UserClient returns a repository client authenticating as user u against
+// repository r.
+func (d *Deployment) UserClient(u, r int) *core.Client {
+	return &core.Client{
+		Credential:     d.Users[u],
+		Roots:          d.Roots,
+		Addr:           d.RepoAddrs[r],
+		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyBits:        d.keyBits,
+	}
+}
+
+// PortalClient returns a repository client authenticating as portal p
+// against repository r.
+func (d *Deployment) PortalClient(p, r int) *core.Client {
+	return &core.Client{
+		Credential:     d.Portals[p],
+		Roots:          d.Roots,
+		Addr:           d.RepoAddrs[r],
+		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyBits:        d.keyBits,
+	}
+}
+
+// SeedCredentials runs myproxy-init for every user on every repository.
+func (d *Deployment) SeedCredentials(ctx context.Context, lifetime time.Duration) error {
+	if lifetime <= 0 {
+		lifetime = 24 * time.Hour
+	}
+	for r := range d.Repos {
+		for u := range d.Users {
+			if err := d.UserClient(u, r).Put(ctx, core.PutOptions{
+				Username:   d.UserNames[u],
+				Passphrase: d.Passphrase,
+				Lifetime:   lifetime,
+			}); err != nil {
+				return fmt.Errorf("sim: seed user %d repo %d: %w", u, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Get performs one myproxy-get-delegation as portal p for user u against
+// repository r (the Fig. 2 operation, the core unit of portal load).
+func (d *Deployment) Get(ctx context.Context, p, u, r int, lifetime time.Duration) (*pki.Credential, error) {
+	return d.PortalClient(p, r).Get(ctx, core.GetOptions{
+		Username:   d.UserNames[u],
+		Passphrase: d.Passphrase,
+		Lifetime:   lifetime,
+	})
+}
+
+// UserProxy creates a local short-term proxy for user u, as
+// grid-proxy-init would (paper §2.5).
+func (d *Deployment) UserProxy(u int, lifetime time.Duration) (*pki.Credential, error) {
+	return proxy.New(d.Users[u], proxy.Options{Lifetime: lifetime, KeyBits: d.keyBits})
+}

@@ -1,0 +1,168 @@
+// Package sim provides the measurement harness for the paper's
+// reproduction experiments: deterministic multi-service deployments on
+// loopback TCP, concurrent workload drivers, and latency/throughput
+// summaries. bench_test.go and cmd/experiments build every table/figure
+// reproduction on top of it (see DESIGN.md §3 and EXPERIMENTS.md).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates operation latencies, safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	start   time.Time
+	elapsed time.Duration
+}
+
+// NewLatencyRecorder creates an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Begin marks the start of the measured window.
+func (r *LatencyRecorder) Begin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start = time.Now()
+}
+
+// End closes the measured window.
+func (r *LatencyRecorder) End() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.start.IsZero() {
+		r.elapsed = time.Since(r.start)
+	}
+}
+
+// Add records one sample.
+func (r *LatencyRecorder) Add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, d)
+}
+
+// Count reports how many samples were recorded.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Percentile returns the p-th percentile latency (0 < p <= 100).
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average latency.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range r.samples {
+		total += d
+	}
+	return total / time.Duration(len(r.samples))
+}
+
+// Throughput reports operations per second across the measured window
+// (Begin/End), falling back to the sum of samples when no window was set.
+func (r *LatencyRecorder) Throughput() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	window := r.elapsed
+	if window <= 0 {
+		for _, d := range r.samples {
+			window += d
+		}
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(n) / window.Seconds()
+}
+
+// Summary renders a one-line report: count, mean, p50, p95, throughput.
+func (r *LatencyRecorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v rate=%.1f/s",
+		r.Count(), r.Mean().Round(time.Microsecond),
+		r.Percentile(50).Round(time.Microsecond),
+		r.Percentile(95).Round(time.Microsecond),
+		r.Throughput())
+}
+
+// RunConcurrent drives total operations across workers goroutines,
+// recording per-op latency. op receives the worker index and the global
+// operation index. The first error aborts the run and is returned.
+func RunConcurrent(workers, total int, op func(worker, iter int) error) (*LatencyRecorder, error) {
+	if workers <= 0 || total <= 0 {
+		return nil, fmt.Errorf("sim: workers and total must be positive")
+	}
+	rec := NewLatencyRecorder()
+	work := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	rec.Begin()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				if err := op(w, i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				rec.Add(time.Since(start))
+			}
+		}(w)
+	}
+	for i := 0; i < total; i++ {
+		select {
+		case err := <-errCh:
+			close(work)
+			wg.Wait()
+			return rec, err
+		case work <- i:
+		}
+	}
+	close(work)
+	wg.Wait()
+	rec.End()
+	select {
+	case err := <-errCh:
+		return rec, err
+	default:
+	}
+	return rec, nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Mean() != 0 || r.Percentile(50) != 0 || r.Throughput() != 0 {
+		t.Error("empty recorder not zero")
+	}
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond} {
+		r.Add(d)
+	}
+	if got := r.Mean(); got != 25*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := r.Percentile(50); got != 20*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(100); got != 40*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if r.Count() != 4 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.Summary() == "" {
+		t.Error("empty summary")
+	}
+	// Throughput without a window falls back to sample sum: 4 ops in
+	// 100ms = 40/s.
+	if got := r.Throughput(); got < 39 || got > 41 {
+		t.Errorf("Throughput = %v", got)
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	var ops atomic.Int64
+	rec, err := RunConcurrent(4, 100, func(worker, iter int) error {
+		ops.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() != 100 {
+		t.Errorf("Count = %d", rec.Count())
+	}
+	if ops.Load() != 100 {
+		t.Errorf("ops = %d", ops.Load())
+	}
+}
+
+func TestRunConcurrentError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunConcurrent(2, 50, func(worker, iter int) error {
+		if iter == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RunConcurrent(0, 1, nil); err == nil {
+		t.Error("invalid workers accepted")
+	}
+}
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	d, err := NewDeployment(Config{Repos: 2, Portals: 2, Users: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if err := d.SeedCredentials(ctx, 12*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Every (portal, user, repo) combination works: the paper's §3.3
+	// many-to-many scalability goal.
+	for p := 0; p < 2; p++ {
+		for u := 0; u < 2; u++ {
+			for r := 0; r < 2; r++ {
+				cred, err := d.Get(ctx, p, u, r, time.Hour)
+				if err != nil {
+					t.Fatalf("Get(p=%d,u=%d,r=%d): %v", p, u, r, err)
+				}
+				if cred.TimeLeft() <= 0 {
+					t.Error("expired delegation")
+				}
+			}
+		}
+	}
+	if got := d.Repos[0].Stats().Gets.Load(); got != 4 {
+		t.Errorf("repo0 gets = %d", got)
+	}
+}
+
+func TestDeploymentUserProxy(t *testing.T) {
+	d, err := NewDeployment(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	p, err := d.UserProxy(0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TimeLeft() <= 0 || p.TimeLeft() > time.Hour+time.Minute {
+		t.Errorf("proxy lifetime %v", p.TimeLeft())
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gram"
+)
+
+// DayConfig describes a synthetic "portal day" trace: a deterministic,
+// seeded stream of browser sessions, each of which logs in (one Fig. 2
+// retrieval), submits a few jobs as the user, and logs out. It substitutes
+// for the production portal logs of the paper's NCSA/NPACI/IPG deployments
+// (DESIGN.md substitution table) while exercising the same code paths.
+type DayConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Sessions is the total number of browser sessions in the trace.
+	Sessions int
+	// MaxJobsPerSession bounds the uniform per-session job count (>= 0).
+	MaxJobsPerSession int
+	// Concurrency is how many sessions run at once (browser parallelism);
+	// 0 selects the number of portals.
+	Concurrency int
+	// ProxyLifetime requested at login (0 = 1h).
+	ProxyLifetime time.Duration
+	// BadPassphraseEvery, when positive, makes every Nth session attempt
+	// login with a wrong pass phrase; such sessions must FAIL (the §5.1
+	// authentication check) and are counted in DayStats.AuthFailures
+	// rather than aborting the run.
+	BadPassphraseEvery int
+}
+
+// DayStats aggregates a portal-day run.
+type DayStats struct {
+	Sessions     int
+	Jobs         int
+	AuthFailures int
+	Login        *LatencyRecorder
+	Job          *LatencyRecorder
+	Wall         time.Duration
+}
+
+// Summary renders one report line.
+func (s *DayStats) Summary() string {
+	return fmt.Sprintf("sessions=%d jobs=%d authfail=%d wall=%v login[%s] job[%s]",
+		s.Sessions, s.Jobs, s.AuthFailures, s.Wall.Round(time.Millisecond), s.Login.Summary(), s.Job.Summary())
+}
+
+// RunPortalDay executes the trace against the deployment, which must have
+// been built with WithGRAM and seeded with SeedCredentials.
+func (d *Deployment) RunPortalDay(ctx context.Context, cfg DayConfig) (*DayStats, error) {
+	if d.GRAM == nil {
+		return nil, fmt.Errorf("sim: portal day requires a deployment with GRAM")
+	}
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("sim: Sessions must be positive")
+	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = len(d.Portals)
+	}
+	lifetime := cfg.ProxyLifetime
+	if lifetime <= 0 {
+		lifetime = time.Hour
+	}
+
+	// Pre-generate the deterministic trace: one entry per session.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type session struct {
+		portal, user, jobs int
+		badPass            bool
+	}
+	trace := make([]session, cfg.Sessions)
+	for i := range trace {
+		jobs := 0
+		if cfg.MaxJobsPerSession > 0 {
+			jobs = rng.Intn(cfg.MaxJobsPerSession + 1)
+		}
+		trace[i] = session{
+			portal:  i % len(d.Portals),
+			user:    rng.Intn(len(d.Users)),
+			jobs:    jobs,
+			badPass: cfg.BadPassphraseEvery > 0 && (i+1)%cfg.BadPassphraseEvery == 0,
+		}
+	}
+
+	stats := &DayStats{Login: NewLatencyRecorder(), Job: NewLatencyRecorder()}
+	var jobCount int
+	var mu sync.Mutex
+
+	start := time.Now()
+	work := make(chan session)
+	errCh := make(chan error, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				if s.badPass {
+					if err := d.runBadSession(ctx, s.portal, s.user, lifetime, stats, &mu); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					continue
+				}
+				if err := d.runSession(ctx, s.portal, s.user, s.jobs, lifetime, stats, &mu, &jobCount); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	var traceErr error
+dispatch:
+	for _, s := range trace {
+		select {
+		case traceErr = <-errCh:
+			break dispatch
+		case work <- s:
+		}
+	}
+	close(work)
+	wg.Wait()
+	if traceErr == nil {
+		select {
+		case traceErr = <-errCh:
+		default:
+		}
+	}
+	if traceErr != nil {
+		return nil, traceErr
+	}
+	stats.Sessions = cfg.Sessions
+	stats.Jobs = jobCount
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+func (d *Deployment) runSession(ctx context.Context, portal, user, jobs int, lifetime time.Duration, stats *DayStats, mu *sync.Mutex, jobCount *int) error {
+	loginStart := time.Now()
+	cred, err := d.Get(ctx, portal, user, portal%len(d.Repos), lifetime)
+	if err != nil {
+		return fmt.Errorf("sim: session login (portal %d user %d): %w", portal, user, err)
+	}
+	stats.Login.Add(time.Since(loginStart))
+
+	if jobs > 0 {
+		cli := &gram.Client{Credential: cred, Roots: d.Roots, Addr: d.GRAMAddr}
+		for j := 0; j < jobs; j++ {
+			jobStart := time.Now()
+			st, err := cli.Submit("echo", []string{"portal-day"}, false)
+			if err != nil {
+				cli.Close()
+				return fmt.Errorf("sim: session job: %w", err)
+			}
+			if _, err := cli.Wait(st.ID, 10*time.Second); err != nil {
+				cli.Close()
+				return err
+			}
+			stats.Job.Add(time.Since(jobStart))
+			mu.Lock()
+			*jobCount++
+			mu.Unlock()
+		}
+		cli.Close()
+	}
+	// Logout: the session credential is simply dropped (paper §4.3).
+	return nil
+}
+
+// runBadSession plays an attacker or fat-fingered user: the login must be
+// refused; success would be a security failure worth aborting the run for.
+func (d *Deployment) runBadSession(ctx context.Context, portal, user int, lifetime time.Duration, stats *DayStats, mu *sync.Mutex) error {
+	_, err := d.PortalClient(portal, portal%len(d.Repos)).Get(ctx, badGetOptions(d.UserNames[user], lifetime))
+	if err == nil {
+		return fmt.Errorf("sim: wrong pass phrase accepted for user %d", user)
+	}
+	mu.Lock()
+	stats.AuthFailures++
+	mu.Unlock()
+	return nil
+}
+
+// badGetOptions builds a login attempt with a deliberately wrong pass
+// phrase.
+func badGetOptions(username string, lifetime time.Duration) core.GetOptions {
+	return core.GetOptions{
+		Username:   username,
+		Passphrase: "definitely the wrong pass phrase",
+		Lifetime:   lifetime,
+	}
+}

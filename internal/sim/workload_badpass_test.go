@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunPortalDayWithBadPassMix(t *testing.T) {
+	d, err := NewDeployment(Config{Users: 2, Portals: 2, WithGRAM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if err := d.SeedCredentials(ctx, 12*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.RunPortalDay(ctx, DayConfig{
+		Seed:               7,
+		Sessions:           9,
+		MaxJobsPerSession:  1,
+		Concurrency:        3,
+		BadPassphraseEvery: 3, // sessions 3, 6, 9 use a wrong pass phrase
+	})
+	if err != nil {
+		t.Fatalf("RunPortalDay: %v", err)
+	}
+	if stats.AuthFailures != 3 {
+		t.Errorf("AuthFailures = %d, want 3", stats.AuthFailures)
+	}
+	if stats.Login.Count() != 6 {
+		t.Errorf("successful logins = %d, want 6", stats.Login.Count())
+	}
+	// The repository observed and audited the failures.
+	if got := d.Repos[0].Stats().AuthFailures.Load(); got < 3 {
+		t.Errorf("repository auth failures = %d", got)
+	}
+}

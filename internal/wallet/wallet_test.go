@@ -1,0 +1,218 @@
+package wallet
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/testpki"
+)
+
+func entry(t *testing.T, name string, tags ...string) *Entry {
+	t.Helper()
+	return &Entry{
+		Name:       name,
+		Credential: testpki.User(t, "wallet-"+name),
+		Tags:       tags,
+	}
+}
+
+func TestAddGetRemove(t *testing.T) {
+	w := New()
+	if err := w.Add(entry(t, "a", "hpc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(nil); err == nil {
+		t.Error("nil entry accepted")
+	}
+	if err := w.Add(&Entry{Name: "x"}); err == nil {
+		t.Error("entry without credential accepted")
+	}
+	if err := w.Add(&Entry{Credential: testpki.User(t, "wallet-a")}); err == nil {
+		t.Error("entry without name accepted")
+	}
+	e, ok := w.Get("a")
+	if !ok || e.Name != "a" {
+		t.Fatalf("Get = %v, %v", e, ok)
+	}
+	if !w.Remove("a") || w.Remove("a") {
+		t.Error("Remove semantics wrong")
+	}
+	if w.Len() != 0 {
+		t.Error("wallet not empty")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	w := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := w.Add(entry(t, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := w.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSelectForTask(t *testing.T) {
+	w := New()
+	// general: many tags; specific: one tag.
+	if err := w.Add(entry(t, "general", "job-submit", "file-read", "file-write")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(entry(t, "compute-only", "job-submit")); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	got, err := w.SelectForTask("job-submit", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "compute-only" {
+		t.Errorf("selected %q, want the more specific compute-only", got.Name)
+	}
+	got, err = w.SelectForTask("file-read", now)
+	if err != nil || got.Name != "general" {
+		t.Errorf("file-read -> %v, %v", got, err)
+	}
+	if _, err := w.SelectForTask("nothing", now); !errors.Is(err, ErrNoCredential) {
+		t.Errorf("unknown task: %v", err)
+	}
+}
+
+func TestSelectSkipsExpired(t *testing.T) {
+	w := New()
+	if err := w.Add(entry(t, "only", "task")); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(400 * 24 * time.Hour) // past the 1y test certs
+	if _, err := w.SelectForTask("task", future); !errors.Is(err, ErrNoCredential) {
+		t.Errorf("expired credential selected: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := New()
+	if err := w.Add(&Entry{
+		Name:        "main",
+		Credential:  testpki.User(t, "wallet-main"),
+		Tags:        []string{"hpc", "data"},
+		Description: "primary identity",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(entry(t, "alt", "viz")); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pass := []byte("wallet pass phrase")
+	if err := w.Save(dir, pass); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(dir, pass)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	e, ok := back.Get("main")
+	if !ok || e.Description != "primary identity" || len(e.Tags) != 2 {
+		t.Errorf("main = %+v", e)
+	}
+	if e.Credential.PrivateKey.N.Cmp(testpki.User(t, "wallet-main").PrivateKey.N) != 0 {
+		t.Error("key mismatch after round trip")
+	}
+	// Wrong pass phrase must fail.
+	if _, err := Load(dir, []byte("wrong")); err == nil {
+		t.Error("wallet opened with wrong pass phrase")
+	}
+	// Missing directory.
+	if _, err := Load(t.TempDir(), pass); err == nil {
+		t.Error("empty dir loaded")
+	}
+}
+
+func TestUploadAllAndServerSideSelection(t *testing.T) {
+	roots := x509.NewCertPool()
+	roots.AddCert(testpki.CA(t).Certificate())
+	srv, err := core.NewServer(core.ServerConfig{
+		Credential:           testpki.Host(t, "myproxy.test"),
+		Roots:                roots,
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Test Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("/C=US/O=Test Grid/*"),
+		KDFIterations:        64,
+		DelegationKeyBits:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	w := New()
+	if err := w.Add(entry(t, "compute", "job-submit")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(entry(t, "data", "file-read", "file-write")); err != nil {
+		t.Fatal(err)
+	}
+	factory := func(cred *pki.Credential) *core.Client {
+		return &core.Client{
+			Credential: cred, Roots: roots, Addr: ln.Addr().String(),
+			ExpectedServer: "*/CN=myproxy.test", KeyBits: 1024,
+		}
+	}
+	pass := "wallet upload pass"
+	if err := w.UploadAll(context.Background(), factory, "walletuser", pass, 12*time.Hour); err != nil {
+		t.Fatalf("UploadAll: %v", err)
+	}
+	// Server-side task selection now mirrors the local wallet.
+	retriever := factory(testpki.User(t, "wallet-compute"))
+	cred, err := retriever.Get(context.Background(), core.GetOptions{
+		Username: "walletuser", Passphrase: pass, TaskHint: "file-write",
+	})
+	if err != nil {
+		t.Fatalf("Get by task: %v", err)
+	}
+	if cred == nil {
+		t.Fatal("nil credential")
+	}
+	// The selected credential carries the data identity, not compute.
+	wantOwner := testpki.User(t, "wallet-data").Subject()
+	infos, err := retriever.Info(context.Background(), "walletuser", pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dataOwner string
+	for _, ci := range infos {
+		if ci.Name == "data" {
+			dataOwner = ci.Owner
+		}
+	}
+	if dataOwner != wantOwner {
+		t.Errorf("data owner = %q, want %q", dataOwner, wantOwner)
+	}
+	// Empty wallet upload errors.
+	if err := New().UploadAll(context.Background(), factory, "u", pass, 0); err == nil {
+		t.Error("empty wallet uploaded")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a/b c:d"); got != "a_b_c_d" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,16 @@
+// Package x509util holds small certificate-pool helpers shared by tests,
+// tools, and examples.
+package x509util
+
+import "crypto/x509"
+
+// PoolOf builds a CertPool containing the given certificates.
+func PoolOf(certs ...*x509.Certificate) *x509.CertPool {
+	pool := x509.NewCertPool()
+	for _, c := range certs {
+		if c != nil {
+			pool.AddCert(c)
+		}
+	}
+	return pool
+}

@@ -1,0 +1,29 @@
+package x509util
+
+import (
+	"crypto/x509"
+	"testing"
+
+	"repro/internal/testpki"
+)
+
+func verifyOpts(pool *x509.CertPool) x509.VerifyOptions {
+	return x509.VerifyOptions{Roots: pool, KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny}}
+}
+
+func TestPoolOf(t *testing.T) {
+	ca := testpki.CA(t).Certificate()
+	pool := PoolOf(ca, nil)
+	if pool == nil {
+		t.Fatal("nil pool")
+	}
+	// The pool must actually contain the certificate: a chain signed by
+	// the CA verifies against it.
+	user := testpki.User(t, "poolof-user")
+	if _, err := user.Certificate.Verify(verifyOpts(pool)); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if empty := PoolOf(); empty == nil {
+		t.Error("empty PoolOf returned nil")
+	}
+}
