@@ -1,0 +1,29 @@
+# Standard entry points; `make check` is the verification gate
+# (vet + build + race-enabled tests), also available as scripts/check.sh.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+# Short benchmark smoke pass (full runs are driven by cmd/experiments).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

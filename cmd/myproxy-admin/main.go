@@ -6,22 +6,26 @@
 //	myproxy-admin list    -store myproxy-store [-l username]
 //	myproxy-admin purge   -store myproxy-store
 //	myproxy-admin remove  -store myproxy-store -l username [-k name]
+//	myproxy-admin stats   -store myproxy-store [-file path]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/credstore"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		cliutil.Fatalf("usage: myproxy-admin {list|purge|remove} [flags]")
+		cliutil.Fatalf("usage: myproxy-admin {list|purge|remove|stats} [flags]")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -31,6 +35,8 @@ func main() {
 		cmdPurge(args)
 	case "remove":
 		cmdRemove(args)
+	case "stats":
+		cmdStats(args)
 	default:
 		cliutil.Fatalf("myproxy-admin: unknown subcommand %q", cmd)
 	}
@@ -105,6 +111,30 @@ func cmdPurge(args []string) {
 		verb = "would purge"
 	}
 	fmt.Printf("%s %d expired credential(s)\n", verb, removed)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("myproxy-admin stats", flag.ExitOnError)
+	dir := fs.String("store", "myproxy-store", "credential store directory")
+	file := fs.String("file", "", "stats snapshot file (default <store>/server.stats)")
+	fs.Parse(args)
+	path := *file
+	if path == "" {
+		path = filepath.Join(*dir, "server.stats")
+	}
+	counters, writtenAt, err := core.ReadStatsFile(path)
+	if err != nil {
+		cliutil.Fatalf("myproxy-admin: %v", err)
+	}
+	fmt.Printf("stats written at %s\n", writtenAt.Format(time.RFC3339))
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-16s %d\n", k, counters[k])
+	}
 }
 
 func cmdRemove(args []string) {

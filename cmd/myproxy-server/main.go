@@ -5,9 +5,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
@@ -32,6 +37,10 @@ func main() {
 	kdfIter := flag.Int("kdf-iter", pki.DefaultKDFIterations, "PBKDF2 iterations for sealing stored keys")
 	legacyProxies := flag.Bool("legacy-proxies", false, "delegate legacy (CN=proxy) style proxies instead of RFC 3820")
 	crlFile := flag.String("crl", "", "PEM CRL bundle; listed certificates are refused (optional)")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrent sessions (0 = unlimited)")
+	msgTimeout := flag.Duration("message-timeout", 0, "per-message I/O deadline, evicts stalled peers (0 = session timeout)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown (0 = wait forever)")
+	statsFile := flag.String("stats-file", "", "stats snapshot file for myproxy-admin stats (default <store>/server.stats)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "myproxy-server: ", log.LstdFlags)
@@ -82,8 +91,17 @@ func main() {
 			MaxStored:    time.Duration(*maxStoredHours) * time.Hour,
 			MaxDelegated: time.Duration(*maxDelegHours) * time.Hour,
 		},
-		KDFIterations: *kdfIter,
-		Logger:        logger,
+		KDFIterations:  *kdfIter,
+		Logger:         logger,
+		MaxConcurrent:  *maxConns,
+		MessageTimeout: *msgTimeout,
+		DrainTimeout:   *drainTimeout,
+		StatsFile:      *statsFile,
+	}
+	if cfg.StatsFile == "" {
+		// Note: not a .json name — the store treats every *.json in its
+		// directory as a credential entry.
+		cfg.StatsFile = filepath.Join(*storeDir, "server.stats")
 	}
 	if *legacyProxies {
 		cfg.DelegationProxyType = proxy.Legacy
@@ -104,8 +122,23 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("myproxy-server: %v", err)
 	}
+	// SIGINT/SIGTERM trigger a graceful drain: stop accepting, let
+	// in-flight delegations finish (bounded by -drain-timeout), flush stats.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Printf("received %v, draining", s)
+		srv.Close()
+	}()
+
 	logger.Printf("repository %s listening on %s (store %s)", srv.Identity(), *listen, *storeDir)
-	if err := srv.ListenAndServe(*listen); err != nil {
+	err = srv.ListenAndServe(*listen)
+	if errors.Is(err, net.ErrClosed) {
+		logger.Printf("drained, exiting")
+		return
+	}
+	if err != nil {
 		cliutil.Fatalf("myproxy-server: %v", err)
 	}
 }

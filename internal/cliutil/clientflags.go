@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resilience"
 )
 
 // ClientFlags bundles the flags every myproxy-* client tool shares.
@@ -15,6 +16,10 @@ type ClientFlags struct {
 	ServerDN   *string
 	Username   *string
 	TimeoutSec *int
+	// Retries is the number of re-attempts after a transient failure
+	// (0 disables retrying); RetryBackoff seeds the exponential backoff.
+	Retries      *int
+	RetryBackoff *time.Duration
 }
 
 // RegisterClientFlags installs the shared client flags on fs. defaultCred
@@ -22,12 +27,14 @@ type ClientFlags struct {
 // etc.).
 func RegisterClientFlags(fs *flag.FlagSet, defaultCred string) *ClientFlags {
 	return &ClientFlags{
-		Server:     fs.String("s", "localhost:7512", "myproxy server address (host:port)"),
-		Cred:       fs.String("cred", defaultCred, "credential file used to authenticate to the server"),
-		CAFile:     fs.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle"),
-		ServerDN:   fs.String("serverdn", "*", "expected server identity (DN pattern)"),
-		Username:   fs.String("l", "", "MyProxy user identity (required)"),
-		TimeoutSec: fs.Int("timeout", 30, "operation timeout in seconds"),
+		Server:       fs.String("s", "localhost:7512", "myproxy server address (host:port)"),
+		Cred:         fs.String("cred", defaultCred, "credential file used to authenticate to the server"),
+		CAFile:       fs.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle"),
+		ServerDN:     fs.String("serverdn", "*", "expected server identity (DN pattern)"),
+		Username:     fs.String("l", "", "MyProxy user identity (required)"),
+		TimeoutSec:   fs.Int("timeout", 30, "operation timeout in seconds"),
+		Retries:      fs.Int("retries", 2, "retries after transient failures (0 disables)"),
+		RetryBackoff: fs.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per retry, jittered)"),
 	}
 }
 
@@ -41,11 +48,18 @@ func (cf *ClientFlags) BuildClient(keyPrompt string) (*core.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &core.Client{
+	c := &core.Client{
 		Credential:     cred,
 		Roots:          roots,
 		Addr:           *cf.Server,
 		ExpectedServer: *cf.ServerDN,
 		Timeout:        time.Duration(*cf.TimeoutSec) * time.Second,
-	}, nil
+	}
+	if *cf.Retries > 0 {
+		c.Retry = resilience.Policy{
+			MaxAttempts: *cf.Retries + 1,
+			BaseDelay:   *cf.RetryBackoff,
+		}
+	}
+	return c, nil
 }

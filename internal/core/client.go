@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/gsi"
@@ -13,11 +14,23 @@ import (
 	"repro/internal/pki"
 	"repro/internal/protocol"
 	"repro/internal/proxy"
+	"repro/internal/resilience"
 )
 
 // Client talks to a MyProxy repository. It is the library under the
 // myproxy-* command-line tools and the Grid portal (paper §4.4 describes the
 // equivalent C and Java client APIs).
+//
+// Failure semantics: with a Retry policy configured, transient transport
+// faults (refused connections, handshake resets, dropped reads) are retried
+// with backoff. Idempotent operations — Get, Info, Retrieve — retry through
+// any transport fault. Mutations — Put, Store, Destroy, ChangePassphrase —
+// retry only faults that provably precede the commit point; a fault after
+// the request may have committed surfaces as *resilience.AmbiguousError
+// instead of being blindly replayed (replaying a DESTROY after a lost
+// confirmation would report a spurious "not found"; replaying a PUT could
+// overwrite a newer deposit). Definitive server verdicts (authorization
+// failures, bad pass phrases, policy rejections) are never retried.
 type Client struct {
 	// Credential authenticates the client: the user's proxy for
 	// myproxy-init, the portal's host credential for
@@ -36,11 +49,17 @@ type Client struct {
 	// ProxyType selects the style of proxy delegated *to* the repository
 	// by Put; the zero value selects proxy.RFC3820.
 	ProxyType proxy.Type
-	// Timeout bounds one operation (0 = 30s).
+	// Timeout bounds one attempt (0 = 30s).
 	Timeout time.Duration
 	// DialContext optionally overrides the transport dialer (tests,
-	// simulation rigs).
+	// simulation rigs, fault injection).
 	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Retry governs automatic retries of transient failures; the zero
+	// value performs exactly one attempt.
+	Retry resilience.Policy
+	// Stats, when non-nil, receives the client-side resilience counters
+	// (Retries, Ambiguous); share one Stats across clients to aggregate.
+	Stats *Stats
 }
 
 // ErrOTPRequired is returned (wrapped) when the repository demands a
@@ -51,12 +70,54 @@ func (e *ErrOTPRequired) Error() string {
 	return fmt.Sprintf("myproxy server requires one-time password (challenge %q)", e.Challenge)
 }
 
-func (c *Client) connect(ctx context.Context) (*gsi.Conn, error) {
+// do runs one operation attempt function under the retry policy, wiring the
+// client's counters into the policy's observer.
+func (c *Client) do(ctx context.Context, fn func(ctx context.Context) error) error {
+	pol := c.Retry
+	prev := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		if c.Stats != nil {
+			c.Stats.Retries.Add(1)
+		}
+		if prev != nil {
+			prev(attempt, err, backoff)
+		}
+	}
+	err := pol.Do(ctx, fn)
+	if err != nil && c.Stats != nil && resilience.IsAmbiguous(err) {
+		c.Stats.Ambiguous.Add(1)
+	}
+	return err
+}
+
+// ambiguous marks a transport fault in a mutation's commit window, leaving
+// definitive server verdicts (already Permanent) untouched.
+func ambiguous(op string, err error) error {
+	if err == nil || resilience.IsPermanent(err) {
+		return err
+	}
+	return resilience.Ambiguous(op, err)
+}
+
+// clientConn couples a GSI channel to the operation context: cancelling the
+// context aborts in-flight I/O (not just dialing) by slamming the deadline.
+type clientConn struct {
+	*gsi.Conn
+	stop chan struct{}
+	once sync.Once
+}
+
+func (cc *clientConn) Close() error {
+	cc.once.Do(func() { close(cc.stop) })
+	return cc.Conn.Close()
+}
+
+func (c *Client) connect(ctx context.Context) (*clientConn, error) {
 	if c.Credential == nil {
-		return nil, errors.New("core: client requires a credential")
+		return nil, resilience.Permanent(errors.New("core: client requires a credential"))
 	}
 	if c.Roots == nil {
-		return nil, errors.New("core: client requires trust roots")
+		return nil, resilience.Permanent(errors.New("core: client requires trust roots"))
 	}
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -82,30 +143,60 @@ func (c *Client) connect(ctx context.Context) (*gsi.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(timeout))
-	return conn, nil
+	// The whole operation — not just the dial — respects the context: the
+	// deadline is the earlier of the per-attempt timeout and the context's,
+	// and an outright cancellation aborts in-flight I/O immediately.
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	cc := &clientConn{Conn: conn, stop: make(chan struct{})}
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0)) // wake any blocked read/write
+		case <-cc.stop:
+		}
+	}()
+	return cc, nil
 }
 
-func (c *Client) roundTrip(conn *gsi.Conn, req *protocol.Request) (*protocol.Response, error) {
+// roundTrip sends req and reads the server's verdict. Server-side verdicts
+// (error responses, OTP challenges) are Permanent — retrying cannot change
+// them. Transport faults while *reading* the response are ambiguous for
+// mutations (commitOp != ""): the server saw the request and may have
+// committed before the confirmation was lost.
+func (c *Client) roundTrip(conn *gsi.Conn, req *protocol.Request, commitOp string) (*protocol.Response, error) {
 	data, err := protocol.MarshalRequest(req)
 	if err != nil {
-		return nil, err
+		return nil, resilience.Permanent(err)
 	}
 	if err := conn.WriteMessage(data); err != nil {
 		return nil, err
 	}
 	respData, err := conn.ReadMessage()
 	if err != nil {
-		return nil, fmt.Errorf("core: read response: %w", err)
+		err = fmt.Errorf("core: read response: %w", err)
+		if commitOp != "" {
+			return nil, resilience.Ambiguous(commitOp, err)
+		}
+		return nil, err
 	}
 	resp, err := protocol.ParseResponse(respData)
 	if err != nil {
+		if commitOp != "" {
+			return nil, resilience.Ambiguous(commitOp, err)
+		}
 		return nil, err
 	}
 	if resp.Code == protocol.RespAuthRequired {
-		return nil, &ErrOTPRequired{Challenge: resp.Challenge}
+		return nil, resilience.Permanent(&ErrOTPRequired{Challenge: resp.Challenge})
 	}
-	return resp, resp.Err()
+	if rerr := resp.Err(); rerr != nil {
+		return resp, resilience.Permanent(rerr)
+	}
+	return resp, nil
 }
 
 // readFinal consumes the post-delegation confirmation.
@@ -118,7 +209,10 @@ func (c *Client) readFinal(conn *gsi.Conn) error {
 	if err != nil {
 		return err
 	}
-	return resp.Err()
+	if rerr := resp.Err(); rerr != nil {
+		return resilience.Permanent(rerr)
+	}
+	return nil
 }
 
 // PutOptions parameterizes Put (myproxy-init, paper Fig. 1).
@@ -146,11 +240,20 @@ type PutOptions struct {
 
 // Put delegates a proxy of the client's credential to the repository under
 // (Username, Passphrase): the myproxy-init operation of paper Figure 1.
+// Failures before the delegation starts are retried under the Retry policy;
+// once the delegation is in flight the deposit may commit server-side, so
+// later faults surface as *resilience.AmbiguousError.
 func (c *Client) Put(ctx context.Context, opts PutOptions) error {
 	lifetime := opts.Lifetime
 	if lifetime <= 0 {
 		lifetime = 7 * 24 * time.Hour
 	}
+	return c.do(ctx, func(ctx context.Context) error {
+		return c.putOnce(ctx, opts, lifetime)
+	})
+}
+
+func (c *Client) putOnce(ctx context.Context, opts PutOptions, lifetime time.Duration) error {
 	conn, err := c.connect(ctx)
 	if err != nil {
 		return err
@@ -168,17 +271,20 @@ func (c *Client) Put(ctx context.Context, opts PutOptions) error {
 		TaskTags:      opts.TaskTags,
 		Renewable:     opts.Renewable,
 	}
-	if _, err := c.roundTrip(conn, req); err != nil {
+	// The first response precedes any server-side state change: failures
+	// up to here are retry-safe.
+	if _, err := c.roundTrip(conn.Conn, req, ""); err != nil {
 		return err
 	}
-	proxyType := c.ProxyType
-	if _, err := gsi.Delegate(conn, c.Credential, proxy.Options{
-		Type:     proxyType,
+	// Commit window: the server stores the credential when the delegation
+	// completes, so a fault from here on leaves the outcome unknown.
+	if _, err := gsi.Delegate(conn.Conn, c.Credential, proxy.Options{
+		Type:     c.ProxyType,
 		Lifetime: lifetime,
 	}); err != nil {
-		return fmt.Errorf("core: delegate to repository: %w", err)
+		return ambiguous("PUT", fmt.Errorf("core: delegate to repository: %w", err))
 	}
-	return c.readFinal(conn)
+	return ambiguous("PUT", c.readFinal(conn.Conn))
 }
 
 // GetOptions parameterizes Get (myproxy-get-delegation, paper Fig. 2).
@@ -207,7 +313,8 @@ type GetOptions struct {
 }
 
 // Get retrieves a delegated proxy credential from the repository: the
-// myproxy-get-delegation operation of paper Figure 2.
+// myproxy-get-delegation operation of paper Figure 2. Get is idempotent and
+// retries any transient fault under the Retry policy.
 func (c *Client) Get(ctx context.Context, opts GetOptions) (*pki.Credential, error) {
 	cred, err := c.get(ctx, opts)
 	if err == nil {
@@ -226,6 +333,19 @@ func (c *Client) Get(ctx context.Context, opts GetOptions) (*pki.Credential, err
 }
 
 func (c *Client) get(ctx context.Context, opts GetOptions) (*pki.Credential, error) {
+	var cred *pki.Credential
+	err := c.do(ctx, func(ctx context.Context) error {
+		var err error
+		cred, err = c.getOnce(ctx, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cred, nil
+}
+
+func (c *Client) getOnce(ctx context.Context, opts GetOptions) (*pki.Credential, error) {
 	conn, err := c.connect(ctx)
 	if err != nil {
 		return nil, err
@@ -241,62 +361,79 @@ func (c *Client) get(ctx context.Context, opts GetOptions) (*pki.Credential, err
 		OTP:        opts.OTP,
 		Renewal:    opts.Renewal,
 	}
-	if _, err := c.roundTrip(conn, req); err != nil {
+	if _, err := c.roundTrip(conn.Conn, req, ""); err != nil {
 		return nil, err
 	}
-	cred, err := gsi.RequestDelegation(conn, c.KeyBits, c.Roots)
+	cred, err := gsi.RequestDelegation(conn.Conn, c.KeyBits, c.Roots)
 	if err != nil {
 		return nil, fmt.Errorf("core: receive delegation: %w", err)
 	}
-	if err := c.readFinal(conn); err != nil {
+	if err := c.readFinal(conn.Conn); err != nil {
 		return nil, err
 	}
 	return cred, nil
 }
 
 // Info lists the credentials stored under username that the pass phrase
-// authenticates (myproxy-info).
+// authenticates (myproxy-info). Info is idempotent and retries transient
+// faults.
 func (c *Client) Info(ctx context.Context, username, passphrase string) ([]protocol.CredInfo, error) {
-	conn, err := c.connect(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	resp, err := c.roundTrip(conn, &protocol.Request{
-		Command: protocol.CmdInfo, Username: username, Passphrase: passphrase,
+	var infos []protocol.CredInfo
+	err := c.do(ctx, func(ctx context.Context) error {
+		conn, err := c.connect(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		resp, err := c.roundTrip(conn.Conn, &protocol.Request{
+			Command: protocol.CmdInfo, Username: username, Passphrase: passphrase,
+		}, "")
+		if err != nil {
+			return err
+		}
+		infos = resp.Infos
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return resp.Infos, nil
+	return infos, nil
 }
 
 // Destroy removes a stored credential (myproxy-destroy, paper §4.1).
+// Connection and request-send failures are retried; a fault after the
+// request was delivered is ambiguous (the credential may already be gone)
+// and surfaces as *resilience.AmbiguousError.
 func (c *Client) Destroy(ctx context.Context, username, passphrase, credName string) error {
-	conn, err := c.connect(ctx)
-	if err != nil {
+	return c.do(ctx, func(ctx context.Context) error {
+		conn, err := c.connect(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_, err = c.roundTrip(conn.Conn, &protocol.Request{
+			Command: protocol.CmdDestroy, Username: username, Passphrase: passphrase, CredName: credName,
+		}, "DESTROY")
 		return err
-	}
-	defer conn.Close()
-	_, err = c.roundTrip(conn, &protocol.Request{
-		Command: protocol.CmdDestroy, Username: username, Passphrase: passphrase, CredName: credName,
 	})
-	return err
 }
 
 // ChangePassphrase re-seals a stored credential under a new pass phrase
-// (myproxy-change-passphrase).
+// (myproxy-change-passphrase). Same commit semantics as Destroy: only
+// pre-delivery faults retry.
 func (c *Client) ChangePassphrase(ctx context.Context, username, oldPass, newPass, credName string) error {
-	conn, err := c.connect(ctx)
-	if err != nil {
+	return c.do(ctx, func(ctx context.Context) error {
+		conn, err := c.connect(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_, err = c.roundTrip(conn.Conn, &protocol.Request{
+			Command: protocol.CmdChangePassphrase, Username: username,
+			Passphrase: oldPass, NewPassphrase: newPass, CredName: credName,
+		}, "CHANGE_PASSPHRASE")
 		return err
-	}
-	defer conn.Close()
-	_, err = c.roundTrip(conn, &protocol.Request{
-		Command: protocol.CmdChangePassphrase, Username: username,
-		Passphrase: oldPass, NewPassphrase: newPass, CredName: credName,
 	})
-	return err
 }
 
 // StoreOptions parameterizes Store (myproxy-store, paper §6.1).
@@ -315,7 +452,9 @@ type StoreOptions struct {
 
 // Store seals a long-term credential client-side and deposits the opaque
 // container in the repository (paper §6.1: "managing long-term Grid
-// credentials on the user's behalf").
+// credentials on the user's behalf"). Failures before the sealed blob is
+// sent are retried; afterwards the deposit may have committed and faults
+// surface as *resilience.AmbiguousError.
 func (c *Client) Store(ctx context.Context, opts StoreOptions) error {
 	if opts.Credential == nil {
 		return errors.New("core: Store requires a credential")
@@ -324,27 +463,30 @@ func (c *Client) Store(ctx context.Context, opts StoreOptions) error {
 	if err != nil {
 		return err
 	}
-	conn, err := c.connect(ctx)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	req := &protocol.Request{
-		Command:     protocol.CmdStore,
-		Username:    opts.Username,
-		Passphrase:  opts.Passphrase,
-		CredName:    opts.CredName,
-		Description: opts.Description,
-		Retrievers:  opts.Retrievers,
-		TaskTags:    opts.TaskTags,
-	}
-	if _, err := c.roundTrip(conn, req); err != nil {
-		return err
-	}
-	if err := conn.WriteMessage(blob); err != nil {
-		return err
-	}
-	return c.readFinal(conn)
+	return c.do(ctx, func(ctx context.Context) error {
+		conn, err := c.connect(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		req := &protocol.Request{
+			Command:     protocol.CmdStore,
+			Username:    opts.Username,
+			Passphrase:  opts.Passphrase,
+			CredName:    opts.CredName,
+			Description: opts.Description,
+			Retrievers:  opts.Retrievers,
+			TaskTags:    opts.TaskTags,
+		}
+		if _, err := c.roundTrip(conn.Conn, req, ""); err != nil {
+			return err
+		}
+		// Commit window: the server stores the blob when it arrives.
+		if err := conn.WriteMessage(blob); err != nil {
+			return ambiguous("STORE", err)
+		}
+		return ambiguous("STORE", c.readFinal(conn.Conn))
+	})
 }
 
 // RetrieveOptions parameterizes Retrieve (myproxy-retrieve, paper §6.1).
@@ -358,7 +500,8 @@ type RetrieveOptions struct {
 }
 
 // Retrieve downloads and unseals a long-term credential deposited with
-// Store. Unsealing happens client-side with the pass phrase.
+// Store. Unsealing happens client-side with the pass phrase. Retrieve is
+// idempotent and retries any transient fault.
 func (c *Client) Retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Credential, error) {
 	cred, err := c.retrieve(ctx, opts)
 	if err == nil {
@@ -377,25 +520,38 @@ func (c *Client) Retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Crede
 }
 
 func (c *Client) retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Credential, error) {
-	conn, err := c.connect(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	resp, err := c.roundTrip(conn, &protocol.Request{
-		Command:    protocol.CmdRetrieve,
-		Username:   opts.Username,
-		Passphrase: opts.Passphrase,
-		CredName:   opts.CredName,
-		TaskHint:   opts.TaskHint,
-		OTP:        opts.OTP,
+	var cred *pki.Credential
+	err := c.do(ctx, func(ctx context.Context) error {
+		conn, err := c.connect(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		resp, err := c.roundTrip(conn.Conn, &protocol.Request{
+			Command:    protocol.CmdRetrieve,
+			Username:   opts.Username,
+			Passphrase: opts.Passphrase,
+			CredName:   opts.CredName,
+			TaskHint:   opts.TaskHint,
+			OTP:        opts.OTP,
+		}, "")
+		if err != nil {
+			return err
+		}
+		plain, err := pki.OpenBytes(resp.Blob, []byte(opts.Passphrase))
+		if err != nil {
+			// The blob arrived intact over TLS; a bad unseal is a bad
+			// pass phrase or corrupt deposit, not a transport fault.
+			return resilience.Permanent(err)
+		}
+		cred, err = pki.DecodeCredentialPEM(plain, nil)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := pki.OpenBytes(resp.Blob, []byte(opts.Passphrase))
-	if err != nil {
-		return nil, err
-	}
-	return pki.DecodeCredentialPEM(plain, nil)
+	return cred, nil
 }

@@ -58,6 +58,25 @@ type ServerConfig struct {
 	MaxChainDepth int
 	// RequestTimeout bounds one client session (0 = 30s).
 	RequestTimeout time.Duration
+	// MessageTimeout bounds each protocol message inside a session (the
+	// slowloris guard): a client that stops making message-level progress
+	// for this long is evicted, freeing its slot for live sessions. 0
+	// selects RequestTimeout (one budget for the whole session).
+	MessageTimeout time.Duration
+	// MaxConcurrent caps simultaneously served connections; further
+	// accepts wait for a free slot (backpressure) instead of piling up
+	// goroutines. 0 = unlimited.
+	MaxConcurrent int
+	// DrainTimeout bounds Close's graceful drain: in-flight sessions get
+	// this long to finish before being force-closed. 0 waits indefinitely.
+	DrainTimeout time.Duration
+	// StatsFile, when non-empty, is where the server persists an
+	// operation-counter snapshot (JSON) on shutdown and every
+	// StatsFlushInterval, for offline inspection by myproxy-admin stats.
+	StatsFile string
+	// StatsFlushInterval is the periodic stats flush period when StatsFile
+	// is set (0 = 30s).
+	StatsFlushInterval time.Duration
 	// PurgeInterval, when positive, sweeps expired credentials from the
 	// store on this period (see credstore.PurgeExpired).
 	PurgeInterval time.Duration

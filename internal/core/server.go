@@ -19,14 +19,22 @@ type Server struct {
 	store credstore.Store
 	stats Stats
 
+	// sem, when non-nil, caps concurrently served connections
+	// (cfg.MaxConcurrent); the accept loop blocks on it — backpressure
+	// rather than unbounded goroutine pileup.
+	sem chan struct{}
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
+	active    map[net.Conn]struct{}
 	conns     sync.WaitGroup
 	closed    bool
 	quit      chan struct{}
 }
 
 // Stats counts repository operations; all fields are updated atomically.
+// A Stats may also be shared with a Client (Client.Stats), in which case the
+// client-side resilience counters (Retries, Ambiguous) are populated too.
 type Stats struct {
 	Connections      atomic.Int64
 	AuthFailures     atomic.Int64
@@ -38,6 +46,22 @@ type Stats struct {
 	Stores           atomic.Int64
 	Retrieves        atomic.Int64
 	Errors           atomic.Int64
+
+	// Resilience counters.
+	// Timeouts counts sessions evicted by a per-message I/O deadline
+	// (stalled peers, slowloris clients).
+	Timeouts atomic.Int64
+	// DrainRefusals counts connections refused because the server was
+	// draining (shutdown in progress) or gave up waiting for a slot.
+	DrainRefusals atomic.Int64
+	// ForcedCloses counts in-flight sessions cut off when the drain
+	// timeout expired.
+	ForcedCloses atomic.Int64
+	// Retries counts retry attempts made by a Client sharing this Stats.
+	Retries atomic.Int64
+	// Ambiguous counts mutations whose outcome was left unknown by a
+	// transport failure (surfaced, never blindly retried).
+	Ambiguous atomic.Int64
 }
 
 // Snapshot returns a plain-value copy for reporting.
@@ -53,6 +77,11 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"stores":            s.Stores.Load(),
 		"retrieves":         s.Retrieves.Load(),
 		"errors":            s.Errors.Load(),
+		"timeouts":          s.Timeouts.Load(),
+		"drain_refusals":    s.DrainRefusals.Load(),
+		"forced_closes":     s.ForcedCloses.Load(),
+		"retries":           s.Retries.Load(),
+		"ambiguous":         s.Ambiguous.Load(),
 	}
 }
 
@@ -81,10 +110,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		store:     store,
 		listeners: make(map[net.Listener]struct{}),
+		active:    make(map[net.Conn]struct{}),
 		quit:      make(chan struct{}),
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	if cfg.PurgeInterval > 0 {
 		go s.sweep(cfg.PurgeInterval)
+	}
+	if cfg.StatsFile != "" {
+		go s.flushStats()
 	}
 	return s, nil
 }
@@ -106,6 +142,27 @@ func (s *Server) sweep(interval time.Duration) {
 			}
 			if n > 0 {
 				s.cfg.logf("purged %d expired credential(s)", n)
+			}
+		}
+	}
+}
+
+// flushStats periodically persists the counter snapshot for offline
+// inspection (myproxy-admin stats); a final flush happens in Close.
+func (s *Server) flushStats() {
+	interval := s.cfg.StatsFlushInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			if err := s.stats.WriteFile(s.cfg.StatsFile); err != nil {
+				s.cfg.logf("stats flush: %v", err)
 			}
 		}
 	}
@@ -150,16 +207,74 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		s.conns.Add(1)
+		if !s.acquire(raw) {
+			continue
+		}
 		go func() {
-			defer s.conns.Done()
+			defer s.release()
 			s.handleRaw(raw)
 		}()
 	}
 }
 
-// Close stops all listeners, the purge sweeper, and waits for in-flight
-// sessions.
+// acquire claims a serving slot for raw, blocking while the server is at
+// MaxConcurrent (accept backpressure), and registers the session with the
+// drain WaitGroup. It refuses — closing raw and counting a drain refusal —
+// when the server shuts down first. The WaitGroup Add happens under mu
+// against the closed flag, so Close's Wait can never race a late Add.
+func (s *Server) acquire(raw net.Conn) bool {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.quit:
+			s.refuse(raw)
+			return false
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.sem != nil {
+			<-s.sem
+		}
+		s.refuse(raw)
+		return false
+	}
+	s.conns.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+	s.conns.Done()
+}
+
+func (s *Server) refuse(raw net.Conn) {
+	s.stats.DrainRefusals.Add(1)
+	s.cfg.logf("refused connection from %v: server draining", raw.RemoteAddr())
+	raw.Close()
+}
+
+// track registers an in-flight connection so a drain timeout can cut it off.
+func (s *Server) track(raw net.Conn) {
+	s.mu.Lock()
+	s.active[raw] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(raw net.Conn) {
+	s.mu.Lock()
+	delete(s.active, raw)
+	s.mu.Unlock()
+}
+
+// Close stops accepting (new connections are refused), lets in-flight
+// sessions drain for up to DrainTimeout (indefinitely when 0), then
+// force-closes stragglers. It also stops the purge sweeper and flushes the
+// stats file.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if !s.closed {
@@ -170,7 +285,35 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.mu.Unlock()
-	s.conns.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(drained)
+	}()
+	if s.cfg.DrainTimeout > 0 {
+		timer := time.NewTimer(s.cfg.DrainTimeout)
+		defer timer.Stop()
+		select {
+		case <-drained:
+		case <-timer.C:
+			s.mu.Lock()
+			for raw := range s.active {
+				s.stats.ForcedCloses.Add(1)
+				s.cfg.logf("drain timeout: force-closing session with %v", raw.RemoteAddr())
+				raw.Close()
+			}
+			s.mu.Unlock()
+			<-drained
+		}
+	} else {
+		<-drained
+	}
+	if s.cfg.StatsFile != "" {
+		if err := s.stats.WriteFile(s.cfg.StatsFile); err != nil {
+			s.cfg.logf("stats flush: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -183,15 +326,21 @@ func (s *Server) handleRaw(raw net.Conn) {
 			raw.Close()
 		}
 	}()
+	s.track(raw)
+	defer s.untrack(raw)
 	timeout := s.cfg.RequestTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
+	}
+	msgTimeout := s.cfg.MessageTimeout
+	if msgTimeout <= 0 || msgTimeout > timeout {
+		msgTimeout = timeout
 	}
 	conn, err := gsi.Server(raw, s.cfg.Credential, gsi.AuthOptions{
 		Roots:            s.cfg.Roots,
 		MaxDepth:         s.cfg.MaxChainDepth,
 		IsRevoked:        s.cfg.IsRevoked,
-		HandshakeTimeout: timeout,
+		HandshakeTimeout: msgTimeout,
 	})
 	if err != nil {
 		s.stats.AuthFailures.Add(1)
@@ -200,15 +349,29 @@ func (s *Server) handleRaw(raw net.Conn) {
 	}
 	defer conn.Close()
 	s.stats.Connections.Add(1)
-	conn.SetDeadline(time.Now().Add(timeout))
+	// Per-message deadlines inside the session cap (slowloris guard): each
+	// message must complete within msgTimeout, the session within timeout.
+	conn.SetSessionDeadline(time.Now().Add(timeout))
+	conn.SetMessageTimeout(msgTimeout)
 	if err := s.serveSession(conn); err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			s.stats.Timeouts.Add(1)
+			s.cfg.logf("session with %s evicted: message deadline exceeded", conn.PeerIdentity())
+			return
+		}
 		s.stats.Errors.Add(1)
 		s.cfg.logf("session with %s: %v", conn.PeerIdentity(), err)
 	}
 }
 
 // HandleConn serves one pre-established raw connection synchronously
-// (used by tests and the simulation harness).
+// (used by tests and the simulation harness). It obeys the same slot and
+// drain rules as accepted connections.
 func (s *Server) HandleConn(raw net.Conn) {
+	if !s.acquire(raw) {
+		return
+	}
+	defer s.release()
 	s.handleRaw(raw)
 }

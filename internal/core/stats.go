@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// statsFileDoc is the on-disk shape of a stats snapshot.
+type statsFileDoc struct {
+	// WrittenAt stamps the snapshot so operators can tell a live flush
+	// from a stale file.
+	WrittenAt time.Time        `json:"written_at"`
+	Counters  map[string]int64 `json:"counters"`
+}
+
+// WriteFile atomically persists a snapshot of the counters as JSON, for
+// offline inspection with myproxy-admin stats. The write is
+// temp-file+rename so a crash mid-flush never leaves a torn document.
+func (s *Stats) WriteFile(path string) error {
+	doc := statsFileDoc{WrittenAt: time.Now().UTC(), Counters: s.Snapshot()}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encode stats: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".stats-*")
+	if err != nil {
+		return fmt.Errorf("core: stats temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: write stats: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// ReadStatsFile loads a snapshot written by WriteFile, returning the
+// counters and the time they were written.
+func ReadStatsFile(path string) (map[string]int64, time.Time, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, time.Time{}, fmt.Errorf("core: read stats file: %w", err)
+	}
+	var doc statsFileDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, time.Time{}, fmt.Errorf("core: decode stats file %s: %w", filepath.Base(path), err)
+	}
+	if doc.Counters == nil {
+		doc.Counters = map[string]int64{}
+	}
+	return doc.Counters, doc.WrittenAt, nil
+}

@@ -24,11 +24,36 @@ type FileStore struct {
 }
 
 // NewFileStore creates (if needed) and opens a directory-backed store.
+// Stale temp files from writes interrupted by a crash are swept on open:
+// an unrenamed ".put-*" file is an aborted deposit (the rename never
+// happened, so the previous entry — if any — is still intact) and is
+// deleted rather than left to accumulate.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("credstore: create store dir: %w", err)
 	}
-	return &FileStore{dir: dir}, nil
+	s := &FileStore{dir: dir}
+	if err := s.sweepTempFiles(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sweepTempFiles removes ".put-*" leftovers from crashed writes.
+func (s *FileStore) sweepTempFiles() error {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("credstore: sweep temp files: %w", err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), ".put-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, de.Name())); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("credstore: sweep %s: %w", de.Name(), err)
+		}
+	}
+	return nil
 }
 
 // Dir returns the backing directory.
@@ -46,7 +71,12 @@ func (s *FileStore) path(username, name string) string {
 	return filepath.Join(s.dir, sha256sum(username, name)+".json")
 }
 
-// Put implements Store with an atomic write (tmp file + rename).
+// Put implements Store with a crash-safe atomic write: the entry is written
+// to a temp file, fsynced, renamed over the target, and the directory is
+// fsynced so the rename itself survives a power loss. Without the syncs a
+// crash between rename and writeback could leave a zero-length or torn
+// credential file — losing a deposited credential the client believes is
+// safely stored (paper §3: the repository is the availability anchor).
 func (s *FileStore) Put(e *Entry) error {
 	if e.Username == "" {
 		return errEmptyUsername
@@ -72,10 +102,30 @@ func (s *FileStore) Put(e *Entry) error {
 		tmp.Close()
 		return fmt.Errorf("credstore: write entry: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("credstore: sync entry: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmpName, target)
+	if err := os.Rename(tmpName, target); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("credstore: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("credstore: sync dir: %w", err)
+	}
+	return nil
 }
 
 // Get implements Store.

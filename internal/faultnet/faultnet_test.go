@@ -1,0 +1,231 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts one connection at a time and echoes bytes back.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln
+}
+
+func TestScriptOrderAndExhaustion(t *testing.T) {
+	s := NewScript(Plan{ConnectError: ErrInjectedConnect}, Plan{ReadDelay: time.Millisecond})
+	if p := s.Take(); p.ConnectError == nil {
+		t.Error("first plan lost its connect error")
+	}
+	if p := s.Take(); p.ReadDelay != time.Millisecond {
+		t.Error("second plan lost its read delay")
+	}
+	// Beyond the script: clean plans forever.
+	for i := 0; i < 3; i++ {
+		if p := s.Take(); p != (Plan{}) {
+			t.Errorf("plan %d beyond script not clean: %+v", i, p)
+		}
+	}
+	if s.Consumed() != 5 {
+		t.Errorf("consumed = %d", s.Consumed())
+	}
+}
+
+func TestDialerConnectFailuresThenSuccess(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(
+		Plan{ConnectError: ErrInjectedConnect},
+		Plan{ConnectError: ErrInjectedConnect},
+	)}
+	for i := 0; i < 2; i++ {
+		if _, err := d.DialContext(context.Background(), "tcp", ln.Addr().String()); !errors.Is(err, ErrInjectedConnect) {
+			t.Fatalf("dial %d: err = %v, want injected", i, err)
+		}
+	}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("clean dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+}
+
+func TestResetAfterBytesWritten(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(Plan{ResetAfterBytesWritten: 6})}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// First 6 bytes pass; the write crossing the threshold resets.
+	n, err := conn.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want reset", err)
+	}
+	if n != 6 {
+		t.Errorf("wrote %d bytes before reset, want 6", n)
+	}
+	// The connection is genuinely dead.
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Error("write after reset succeeded")
+	}
+}
+
+func TestResetAfterBytesRead(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(Plan{ResetAfterBytesRead: 3})}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("first read = %d, %v; want 3 bytes delivered", n, err)
+	}
+	if _, err := conn.Read(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read past threshold: %v, want reset", err)
+	}
+}
+
+func TestPartialWritesStillDeliverEverything(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(Plan{MaxWriteChunk: 2})}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("partial write exercise")
+	if n, err := conn.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != string(msg) {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+}
+
+func TestStalledReadReleasedByDeadline(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(Plan{StallReads: true})}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled read err = %v, want timeout", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("stall released early")
+	}
+}
+
+func TestStalledReadReleasedByClose(t *testing.T) {
+	ln := echoListener(t)
+	d := &Dialer{Script: NewScript(Plan{StallReads: true})}
+	conn, err := d.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("stalled read returned data after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read not released by Close")
+	}
+}
+
+func TestListenerAppliesPlans(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &Listener{Listener: base, Script: NewScript(
+		Plan{ConnectError: ErrInjectedConnect}, // first accept: refused
+		Plan{},                                 // second: clean
+	)}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("ok"))
+		conn.Close()
+	}()
+	// First client is dropped by the listener; it observes EOF/reset on read.
+	c1, err := net.Dial("tcp", base.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := net.Dial("tcp", base.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(make([]byte, 2)); err == nil {
+		t.Error("refused connection delivered data")
+	}
+	buf := make([]byte, 2)
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("second connection: %q, %v", buf, err)
+	}
+}
+
+func TestDialerConnectDelayHonorsContext(t *testing.T) {
+	d := &Dialer{Script: NewScript(Plan{ConnectDelay: time.Hour})}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := d.DialContext(ctx, "tcp", "127.0.0.1:1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package gram
 
 import (
+	"context"
 	"crypto/x509"
 	"encoding/json"
 	"fmt"
@@ -26,6 +27,9 @@ type Client struct {
 	// DelegationType selects the proxy style for job delegation; the zero
 	// value is proxy.RFC3820.
 	DelegationType proxy.Type
+	// DialContext overrides the transport dial (tests inject faults through
+	// it; nil selects net.Dialer).
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
 
 	mu   sync.Mutex
 	conn *gsi.Conn
@@ -39,8 +43,13 @@ func (c *Client) connection() (*gsi.Conn, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	var d net.Dialer
-	raw, err := d.Dial("tcp", c.Addr)
+	dial := c.DialContext
+	if dial == nil {
+		dial = (&net.Dialer{}).DialContext
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	raw, err := dial(ctx, "tcp", c.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("gram: dial %s: %w", c.Addr, err)
 	}

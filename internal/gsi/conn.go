@@ -45,6 +45,12 @@ type Conn struct {
 	Local *pki.Credential
 
 	maxFrame int
+
+	// msgTimeout, when positive, gives every message read/write its own
+	// deadline (slowloris guard); sessionDeadline, when set, caps the whole
+	// exchange regardless of per-message progress.
+	msgTimeout      time.Duration
+	sessionDeadline time.Time
 }
 
 // tlsCertificate assembles the TLS leaf+chain from a Grid credential. The
@@ -180,13 +186,37 @@ func completeHandshake(tc *tls.Conn, raw net.Conn, opts AuthOptions) error {
 	return tc.SetDeadline(time.Time{})
 }
 
+// SetMessageTimeout arms a per-message deadline: every subsequent
+// WriteMessage/ReadMessage gets its own budget of d, so a peer must keep
+// making message-level progress to hold the connection (the slowloris
+// guard). d <= 0 disarms it, restoring caller-managed deadlines.
+func (c *Conn) SetMessageTimeout(d time.Duration) { c.msgTimeout = d }
+
+// SetSessionDeadline caps the whole exchange at t: per-message deadlines
+// never extend past it. The zero time removes the cap.
+func (c *Conn) SetSessionDeadline(t time.Time) { c.sessionDeadline = t }
+
+// armDeadline applies the per-message deadline, bounded by the session cap.
+func (c *Conn) armDeadline() {
+	if c.msgTimeout <= 0 {
+		return
+	}
+	dl := time.Now().Add(c.msgTimeout)
+	if !c.sessionDeadline.IsZero() && c.sessionDeadline.Before(dl) {
+		dl = c.sessionDeadline
+	}
+	c.tls.SetDeadline(dl)
+}
+
 // WriteMessage sends one framed message over the channel.
 func (c *Conn) WriteMessage(payload []byte) error {
+	c.armDeadline()
 	return WriteFrame(c.tls, payload)
 }
 
 // ReadMessage receives one framed message.
 func (c *Conn) ReadMessage() ([]byte, error) {
+	c.armDeadline()
 	return ReadFrame(c.tls, c.maxFrame)
 }
 

@@ -2,6 +2,9 @@ package gsi
 
 import (
 	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -177,6 +180,111 @@ func TestServerRequiresRoots(t *testing.T) {
 	_, _, err := connectPair(t, user, server, defaultOpts(t), AuthOptions{})
 	if err == nil {
 		t.Fatal("server with no roots accepted a client")
+	}
+}
+
+// truncationResult carries a ReadMessage outcome across goroutines.
+type truncationResult struct {
+	msg []byte
+	err error
+}
+
+// readAsync starts a ReadMessage and returns the result channel, failing the
+// test if the read has not completed within the deadline (a truncated peer
+// must never hang the reader).
+func awaitRead(t *testing.T, c *Conn) truncationResult {
+	t.Helper()
+	done := make(chan truncationResult, 1)
+	go func() {
+		msg, err := c.ReadMessage()
+		done <- truncationResult{msg, err}
+	}()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReadMessage hung on truncated frame")
+		return truncationResult{}
+	}
+}
+
+func TestTruncatedFrameMidLengthPrefix(t *testing.T) {
+	// A peer that dies after sending only part of the 4-byte length prefix
+	// must produce a clean error, not a hang and not an empty message.
+	user := testpki.User(t, "gsi-alice")
+	server := testpki.Host(t, "myproxy.test")
+	cli, srv, err := connectPair(t, user, server, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		srv.tls.Write([]byte{0x00, 0x00}) // half a prefix...
+		srv.tls.Close()                   // ...then gone
+	}()
+	res := awaitRead(t, cli)
+	if res.err == nil {
+		t.Fatalf("truncated prefix accepted as message %q", res.msg)
+	}
+	if !errors.Is(res.err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", res.err)
+	}
+	if res.msg != nil {
+		t.Errorf("partial message surfaced: %q", res.msg)
+	}
+}
+
+func TestTruncatedFrameMidPayload(t *testing.T) {
+	// A complete prefix promising 64 bytes followed by only 10 must fail the
+	// read — a short body must never be delivered as a valid message.
+	user := testpki.User(t, "gsi-alice")
+	server := testpki.Host(t, "myproxy.test")
+	cli, srv, err := connectPair(t, user, server, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 64)
+		srv.tls.Write(hdr[:])
+		srv.tls.Write([]byte("ten bytes!"))
+		srv.tls.Close()
+	}()
+	res := awaitRead(t, cli)
+	if res.err == nil {
+		t.Fatalf("truncated payload accepted as message %q", res.msg)
+	}
+	if !errors.Is(res.err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", res.err)
+	}
+	if !strings.Contains(res.err.Error(), "read frame body") {
+		t.Errorf("err = %v, want frame-body context", res.err)
+	}
+	if res.msg != nil {
+		t.Errorf("partial message surfaced: %q", res.msg)
+	}
+}
+
+func TestMessageTimeoutUnblocksSilentPeer(t *testing.T) {
+	// The per-message deadline (slowloris guard) must fire even when the
+	// peer sends nothing at all.
+	user := testpki.User(t, "gsi-alice")
+	server := testpki.Host(t, "myproxy.test")
+	cli, _, err := connectPair(t, user, server, defaultOpts(t), defaultOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.SetMessageTimeout(100 * time.Millisecond)
+	start := time.Now()
+	res := awaitRead(t, cli)
+	if res.err == nil {
+		t.Fatal("read from silent peer succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(res.err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want net timeout", res.err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout fired after %v, want ~100ms", elapsed)
 	}
 }
 

@@ -10,6 +10,7 @@
 package mss
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -243,6 +244,9 @@ type Client struct {
 	Addr           string
 	ExpectedServer string
 	Timeout        time.Duration
+	// DialContext overrides the transport dial (tests inject faults through
+	// it; nil selects net.Dialer).
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
 
 	mu   sync.Mutex
 	conn *gsi.Conn
@@ -256,8 +260,13 @@ func (c *Client) connection() (*gsi.Conn, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	var d net.Dialer
-	raw, err := d.Dial("tcp", c.Addr)
+	dial := c.DialContext
+	if dial == nil {
+		dial = (&net.Dialer{}).DialContext
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	raw, err := dial(ctx, "tcp", c.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("mss: dial %s: %w", c.Addr, err)
 	}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's verification gate: vet, build, and race-test
+# everything. Run from the repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
