@@ -1,9 +1,10 @@
 # Standard entry points; `make check` is the verification gate
-# (vet + build + race-enabled tests), also available as scripts/check.sh.
+# (vet + lint + build + race-enabled tests), also available as
+# scripts/check.sh.
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet lint test race check bench clean
 
 all: build
 
@@ -13,13 +14,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own analyzer suite (see internal/analysis and
+# DESIGN.md "Static-analysis gate"); it exits nonzero on any finding not
+# covered by a //myproxy:allow pragma.
+lint:
+	$(GO) run ./cmd/myproxy-vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-check: vet build race
+check: vet lint build race
 
 # Short benchmark smoke pass (full runs are driven by cmd/experiments).
 bench:

@@ -9,6 +9,7 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net"
@@ -346,12 +347,12 @@ func BenchmarkOTPVerify(b *testing.B) {
 		b.Fatal(err)
 	}
 	hexAt := make([]string, b.N+2) // hexAt[n] = H^n
-	hexAt[0] = fmt.Sprintf("%x", cur)
+	hexAt[0] = hex.EncodeToString(cur[:])
 	for n := 1; n <= b.N+1; n++ {
 		if cur, err = otp.Next(otp.MD5, cur); err != nil {
 			b.Fatal(err)
 		}
-		hexAt[n] = fmt.Sprintf("%x", cur)
+		hexAt[n] = hex.EncodeToString(cur[:])
 	}
 	responses := make([]string, b.N)
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,96 @@
+// Command myproxy-vet runs the repository's static-analysis suite
+// (internal/analysis): security and correctness invariants — crypto-grade
+// randomness, secrets kept out of format strings, constant-time
+// comparisons, proxy-aware chain verification, %w error wrapping — checked
+// mechanically over any package pattern.
+//
+// Usage:
+//
+//	myproxy-vet [-json] [patterns ...]
+//
+// Patterns default to ./.... Exit status is 0 when clean, 1 when findings
+// were reported, 2 on load or usage errors. Findings are suppressed at a
+// specific site with //myproxy:allow <pass> <reason>; see DESIGN.md
+// ("Static-analysis gate").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	listPasses := flag.Bool("passes", false, "list the registered passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json] [patterns ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listPasses {
+		for _, p := range analysis.Passes {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	rep, err := analysis.Run(patterns, analysis.Passes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for i := range rep.Findings {
+		rep.Findings[i].File = relativize(cwd, rep.Findings[i].File)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Findings   []analysis.Diagnostic `json:"findings"`
+			Suppressed int                   `json:"suppressed"`
+		}{Findings: rep.Findings, Suppressed: len(rep.Suppressed)}
+		if out.Findings == nil {
+			out.Findings = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range rep.Findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Pass, d.Message)
+		}
+		if len(rep.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma\n",
+				len(rep.Findings), len(rep.Suppressed))
+		}
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize shortens abs to a cwd-relative path when that is tidier.
+func relativize(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || len(rel) >= len(path) {
+		return path
+	}
+	return rel
+}

@@ -144,7 +144,7 @@ func run() error {
 	})
 	var challenge *core.ErrOTPRequired
 	if !errors.As(err, &challenge) {
-		return fmt.Errorf("expected an OTP challenge, got %v", err)
+		return fmt.Errorf("expected an OTP challenge, got %w", err)
 	}
 	fmt.Println("repository demands a one-time password:", challenge.Challenge)
 

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ConstTime forbids variable-time comparison of secret-labelled values:
+// ==/!= on secret operands and bytes.Equal / bytes.Compare with a secret
+// argument are errors; the fix is hmac.Equal or
+// subtle.ConstantTimeCompare. A repository that verifies pass phrases and
+// one-time passwords must not let the comparison's running time reveal how
+// many leading bytes an attacker guessed right.
+//
+// Two shapes are exempt because they test presence, not content:
+// comparison against the empty-string constant and against nil.
+var ConstTime = &Pass{
+	Name: "consttime",
+	Doc:  "secret-labelled values must be compared with hmac.Equal/subtle.ConstantTimeCompare",
+	Run:  runConstTime,
+}
+
+func runConstTime(ctx *Context, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if emptyOrNil(pkg, x.X) || emptyOrNil(pkg, x.Y) {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if desc, secret := ctx.secretCarrier(pkg, side); secret {
+						diags = append(diags, pkg.diag("consttime", x.OpPos,
+							"%q on a secret value (%s) is not constant-time; use hmac.Equal or subtle.ConstantTimeCompare",
+							x.Op, desc))
+						break
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg, x)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "bytes" {
+					return true
+				}
+				if fn.Name() != "Equal" && fn.Name() != "Compare" {
+					return true
+				}
+				for _, arg := range x.Args {
+					if desc, secret := ctx.secretCarrier(pkg, arg); secret {
+						diags = append(diags, pkg.diag("consttime", x.Pos(),
+							"bytes.%s on a secret value (%s) is not constant-time; use hmac.Equal or subtle.ConstantTimeCompare",
+							fn.Name(), desc))
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// emptyOrNil reports whether e is the empty-string constant or nil.
+func emptyOrNil(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return true
+	}
+	return tv.Value != nil && tv.Value.ExactString() == `""`
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import "sort"
+
+// Passes is the full analyzer suite, in documentation order.
+var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap}
+
+// Report is the outcome of one analyzer run.
+type Report struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are diagnostics covered by a //myproxy:allow pragma,
+	// kept for inspection and tests.
+	Suppressed []Diagnostic
+}
+
+// Run loads the patterns, executes the passes, and applies pragma
+// suppression. Malformed pragmas surface as findings of the reserved
+// "pragma" pass and cannot themselves be suppressed.
+func Run(patterns []string, passes []*Pass) (*Report, error) {
+	pkgs, err := Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, passes), nil
+}
+
+// RunPackages executes the passes over already-loaded packages.
+func RunPackages(pkgs []*Package, passes []*Pass) *Report {
+	ctx := &Context{SecretTypes: collectSecretTypes(pkgs)}
+	known := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		known[p.Name] = true
+	}
+	pragmas, pragmaDiags := collectPragmas(pkgs, known)
+
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, pass := range passes {
+			all = append(all, pass.Run(ctx, pkg)...)
+		}
+	}
+
+	rep := &Report{Findings: pragmaDiags}
+	for _, d := range all {
+		if pragmas.suppressed(d) {
+			rep.Suppressed = append(rep.Suppressed, d)
+		} else {
+			rep.Findings = append(rep.Findings, d)
+		}
+	}
+	sortDiags(rep.Findings)
+	sortDiags(rep.Suppressed)
+	return rep
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap catches fmt.Errorf calls that format an error argument with %v
+// or %s instead of %w. The difference is invisible in the message but
+// breaks errors.Is/errors.As downstream — exactly the mechanism the
+// resilience layer uses to classify permanent and ambiguous failures, and
+// the one callers use to detect ErrWeakPassphrase, ErrBadResponse and
+// friends. An intentionally terminal wrap (e.g. annotating a secondary
+// error without making it part of the chain) is annotated with
+// //myproxy:allow errwrap <reason>.
+var ErrWrap = &Pass{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must wrap error arguments with %w, not %v/%s",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(ctx *Context, pkg *Package) []Diagnostic {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			format := constant.StringVal(tv.Value)
+			for _, vb := range parseVerbs(format) {
+				if vb.verb != 'v' && vb.verb != 's' {
+					continue
+				}
+				argIdx := 1 + vb.arg
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				at, ok := pkg.Info.Types[arg]
+				if !ok || at.Type == nil {
+					continue
+				}
+				if types.Implements(at.Type, errorIface) {
+					diags = append(diags, pkg.diag("errwrap", arg.Pos(),
+						"error argument formatted with %%%c loses errors.Is/As classification; use %%w (or annotate //myproxy:allow errwrap <reason> if the break is intentional)", vb.verb))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// verbUse records one formatting verb and the 0-based operand index it
+// consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a Printf-style format string and maps each verb to its
+// operand, handling flags, width/precision (including '*'), explicit
+// argument indexes ("%[2]v") and "%%".
+func parseVerbs(format string) []verbUse {
+	var out []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' || runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// Width.
+		for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+			i++
+		}
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		// Explicit argument index.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader resolves package patterns ("./...", "repro/internal/otp",
+// plain directories, including testdata fixtures named explicitly) into
+// fully type-checked Packages without golang.org/x/tools. The trick is to
+// let the go tool do the heavy lifting: `go list -export -deps -test`
+// compiles every dependency and reports the compiler's export-data file for
+// each, which the stdlib gc importer can consume through its lookup hook.
+// Our own sources are then parsed and type-checked from source against
+// those exports, which keeps the analysis aware of full type information
+// (needed for secret-type labelling, method receivers, error interfaces)
+// while staying entirely on the standard library.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	// XTestGoFiles are the files of the external "_test" package.
+	XTestGoFiles []string
+}
+
+// Load resolves patterns and returns one Package per compiled unit: the
+// package itself (with in-package test files folded in, as the compiler's
+// test variant does) and, when present, its external _test package.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := goListExports(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		unit, err := checkUnit(fset, base, nil, lp.ImportPath, lp.Dir, lp.Name,
+			append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, unit)
+		if len(lp.XTestGoFiles) > 0 {
+			// The external test package imports the package under test;
+			// resolve that import to the in-memory test variant (which
+			// includes symbols declared in in-package test files).
+			override := map[string]*types.Package{lp.ImportPath: unit.Types}
+			xunit, err := checkUnit(fset, base, override, lp.ImportPath+"_test", lp.Dir, lp.Name+"_test", lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xunit)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// checkUnit parses and type-checks one compile unit.
+func checkUnit(fset *token.FileSet, base types.Importer, override map[string]*types.Package,
+	importPath, dir, name string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	src := make(map[string][]byte, len(fileNames))
+	for _, fn := range fileNames {
+		path := filepath.Join(dir, fn)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+		src[path] = data
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: &overrideImporter{base: base, override: override},
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-check %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Src:        src,
+	}, nil
+}
+
+// overrideImporter resolves a fixed set of import paths to in-memory
+// packages and delegates everything else to the export-data importer.
+type overrideImporter struct {
+	base     types.Importer
+	override map[string]*types.Package
+}
+
+func (o *overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.override[path]; ok {
+		return p, nil
+	}
+	return o.base.Import(path)
+}
+
+// goList runs `go list -json` on the patterns.
+func goList(patterns []string) ([]listedPackage, error) {
+	out, err := runGo(append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// goListExports maps every import path in the patterns' dependency closure
+// (tests included) to its compiler export-data file, compiling as needed.
+func goListExports(patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-test", "-f", "{{.ImportPath}}|{{.Export}}"}, patterns...)
+	out, err := runGo(args)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "|")
+		if !ok || file == "" {
+			continue
+		}
+		// Skip test-variant entries like "pkg [pkg.test]": imports of the
+		// plain path must resolve to the plain export; the variant is
+		// reconstructed in memory by Load when needed.
+		if strings.HasSuffix(path, "]") {
+			continue
+		}
+		exports[path] = file
+	}
+	return exports, nil
+}
+
+func runGo(args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %w\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	return out, nil
+}

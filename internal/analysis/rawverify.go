@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// RawVerify keeps every certificate-chain decision inside the proxy-aware
+// validator. Go's x509.Certificate.Verify rejects RFC 3820 proxy
+// certificates outright (issuer is an EEC, not a CA), so code that reaches
+// for it either breaks on real Grid chains or — worse — is paired with a
+// shortcut that skips validation entirely. Outside internal/proxy (the
+// validator itself) and internal/testpki (fixture construction), chain
+// checks must go through proxy.Verify. The pass also flags tls.Config
+// literals that delegate client-chain verification to the default verifier
+// (RequireAndVerifyClientCert / VerifyClientCertIfGiven): GSI servers must
+// use RequireAnyClientCert and validate the chain with proxy.Verify after
+// the handshake.
+var RawVerify = &Pass{
+	Name: "rawverify",
+	Doc:  "x509.Certificate.Verify and default TLS client-chain verification are forbidden outside internal/proxy and internal/testpki",
+	Run:  runRawVerify,
+}
+
+// rawVerifyAllowed lists package paths where raw chain verification is the
+// point (the proxy-aware validator bottoms out in x509 for the EEC-to-CA
+// tail; the test PKI builds and sanity-checks its own fixtures).
+var rawVerifyAllowed = map[string]bool{
+	"repro/internal/proxy":   true,
+	"repro/internal/testpki": true,
+}
+
+func runRawVerify(ctx *Context, pkg *Package) []Diagnostic {
+	base := strings.TrimSuffix(pkg.ImportPath, "_test")
+	if rawVerifyAllowed[base] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Name() != "Verify" {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				named := namedOf(sig.Recv().Type())
+				if named == nil || named.Obj().Pkg() == nil {
+					return true
+				}
+				if named.Obj().Pkg().Path() == "crypto/x509" && named.Obj().Name() == "Certificate" {
+					diags = append(diags, pkg.diag("rawverify", x.Pos(),
+						"x509.Certificate.Verify cannot walk proxy chains; route chain checks through proxy.Verify"))
+				}
+			case *ast.CompositeLit:
+				named := namedOf(pkg.Info.Types[x].Type)
+				if named == nil || named.Obj().Pkg() == nil ||
+					named.Obj().Pkg().Path() != "crypto/tls" || named.Obj().Name() != "Config" {
+					return true
+				}
+				for _, elt := range x.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || key.Name != "ClientAuth" {
+						continue
+					}
+					tv, ok := pkg.Info.Types[kv.Value]
+					if !ok || tv.Value == nil {
+						continue
+					}
+					// tls.VerifyClientCertIfGiven == 3,
+					// tls.RequireAndVerifyClientCert == 4: both hand the
+					// client chain to the default verifier.
+					if v, ok := constant.Int64Val(tv.Value); ok && v >= 3 {
+						diags = append(diags, pkg.diag("rawverify", kv.Pos(),
+							"tls.Config delegates client-chain verification to the default verifier, which rejects proxy certificates; use RequireAnyClientCert and proxy.Verify after the handshake"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

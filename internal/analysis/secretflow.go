@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SecretFlow stops secret-labelled values (pass phrases, private keys,
+// sealed-key bytes, //myproxy:secret-marked types — see secret.go) from
+// reaching formatting and logging sinks: fmt.*print*, fmt.Errorf, the log
+// package and *log.Logger methods. Secrets that land in an error string or
+// a log line outlive every other protection the repository offers — they
+// end up in journals, crash reports and terminal scrollback.
+var SecretFlow = &Pass{
+	Name: "secretflow",
+	Doc:  "secret-labelled values must not reach fmt/log formatting sinks",
+	Run:  runSecretFlow,
+}
+
+// formatSinks lists the package-level functions whose arguments are
+// scanned, per package path.
+var formatSinks = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Sprint": true, "Sprintf": true, "Sprintln": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Append": true, "Appendf": true, "Appendln": true,
+		"Errorf": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+		"Output": true,
+	},
+}
+
+func runSecretFlow(ctx *Context, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := sinkName(pkg, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if desc, secret := ctx.secretCarrier(pkg, arg); secret {
+					diags = append(diags, pkg.diag("secretflow", arg.Pos(),
+						"secret value reaches %s: %s; redact it or restructure so the secret never enters a format call", name, desc))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// sinkName resolves call to a known formatting sink and returns its
+// display name.
+func sinkName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	// *log.Logger methods (Printf, Fatal, ...).
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "log" && named.Obj().Name() == "Logger" {
+			return "(*log.Logger)." + fn.Name(), true
+		}
+		return "", false
+	}
+	if sinks, ok := formatSinks[fn.Pkg().Path()]; ok && sinks[fn.Name()] {
+		return fn.Pkg().Path() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, when statically
+// known (package functions and methods; not function values).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// namedOf unwraps pointers to reach a named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return namedOf(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

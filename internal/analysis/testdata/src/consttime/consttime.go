@@ -1,0 +1,43 @@
+// Package consttimefix is the golden-file fixture for the consttime pass.
+package consttimefix
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+)
+
+// Digest is a marked secret type compared below.
+//
+//myproxy:secret
+type Digest [8]byte
+
+// Check exercises the flagged comparison shapes.
+func Check(passphrase, stored string, a, b Digest, secretKey, other []byte) bool {
+	if passphrase == stored {
+		return true
+	}
+	if a != b {
+		return false
+	}
+	if bytes.Equal(secretKey, other) {
+		return true
+	}
+	if bytes.Compare(secretKey, other) > 0 {
+		return false
+	}
+	return false
+}
+
+// Clean holds the exempt shapes: presence checks, derived non-content
+// values, and the constant-time primitives themselves.
+func Clean(passphrase string, secretKey, other []byte) bool {
+	if passphrase == "" {
+		return false
+	}
+	if len(secretKey) == 0 {
+		return false
+	}
+	ok := subtle.ConstantTimeCompare(secretKey, other) == 1
+	return ok && hmac.Equal(secretKey, other)
+}

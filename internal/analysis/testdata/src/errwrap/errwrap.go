@@ -1,0 +1,25 @@
+// Package errwrapfix is the golden-file fixture for the errwrap pass.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Wraps formats error arguments the lossy way and the right way.
+func Wraps(err error) error {
+	if err != nil {
+		return fmt.Errorf("op failed: %v", err)
+	}
+	e2 := fmt.Errorf("op %q failed: %s", "put", errBase)
+	_ = e2
+	return fmt.Errorf("op failed: %w", errBase)
+}
+
+// Clean formats non-error values and stringified errors, which the pass
+// must not flag.
+func Clean(name string) error {
+	return fmt.Errorf("no such user %q: %v", name, errBase.Error())
+}

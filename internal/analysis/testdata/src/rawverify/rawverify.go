@@ -1,0 +1,31 @@
+// Package rawverifyfix is the golden-file fixture for the rawverify pass.
+package rawverifyfix
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+)
+
+// Bad verifies a chain with the stdlib verifier, which rejects proxy
+// certificates.
+func Bad(cert *x509.Certificate, roots *x509.CertPool) error {
+	_, err := cert.Verify(x509.VerifyOptions{Roots: roots})
+	return err
+}
+
+// BadConfig hands the client chain to the default TLS verifier.
+func BadConfig(cert tls.Certificate) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+	}
+}
+
+// OKConfig requires a client chain but leaves verification to the
+// proxy-aware validator after the handshake.
+func OKConfig(cert tls.Certificate) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   tls.RequireAnyClientCert,
+	}
+}

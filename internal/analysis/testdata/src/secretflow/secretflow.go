@@ -1,0 +1,27 @@
+// Package secretflowfix is the golden-file fixture for the secretflow pass.
+package secretflowfix
+
+import (
+	"fmt"
+	"log"
+)
+
+// Chain is a marked secret type: its values must never reach a sink.
+//
+//myproxy:secret
+type Chain [8]byte
+
+// Leak exercises the three sink families.
+func Leak(passphrase string, chain Chain) error {
+	fmt.Println("user passphrase:", passphrase)
+	log.Printf("chain=%x", chain)
+	err := fmt.Errorf("bad passphrase %q", passphrase)
+	fmt.Println("length ok:", len(passphrase))
+	return err
+}
+
+// Derived values that cannot carry the secret's content are clean.
+func Clean(passphrase string, logger *log.Logger) {
+	logger.Printf("passphrase length %d", len(passphrase))
+	fmt.Println("have passphrase:", passphrase != "")
+}

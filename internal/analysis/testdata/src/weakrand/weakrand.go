@@ -1,0 +1,28 @@
+// Package weakrandfix is the golden-file fixture for the weakrand pass.
+package weakrandfix
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+)
+
+// Salt generates a salt the wrong way: math/rand output is predictable.
+func Salt() []byte {
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = byte(mrand.Intn(256))
+	}
+	return b
+}
+
+// GoodSalt draws from the kernel CSPRNG and must not be flagged.
+func GoodSalt() []byte {
+	b := make([]byte, 16)
+	_, _ = rand.Read(b)
+	return b
+}
+
+// Jitter is an allowlisted non-cryptographic use.
+func Jitter() float64 {
+	return mrand.Float64() //myproxy:allow weakrand fixture jitter; not security sensitive
+}

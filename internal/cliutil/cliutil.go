@@ -67,11 +67,11 @@ func LoadCredential(path, prompt string) (*pki.Credential, error) {
 	if err == nil {
 		return cred, nil
 	}
-	pass, err := PromptPassphrase(prompt)
+	passphrase, err := PromptPassphrase(prompt)
 	if err != nil {
 		return nil, err
 	}
-	return pki.DecodeCredentialPEM(data, []byte(pass))
+	return pki.DecodeCredentialPEM(data, []byte(passphrase))
 }
 
 // LoadCertKey reads a certificate file and a (possibly sealed) key file.
@@ -90,11 +90,11 @@ func LoadCertKey(certPath, keyPath, prompt string) (*pki.Credential, error) {
 	}
 	key, err := pki.DecodeKeyPEM(keyData)
 	if err != nil {
-		pass, perr := PromptPassphrase(prompt)
+		passphrase, perr := PromptPassphrase(prompt)
 		if perr != nil {
 			return nil, perr
 		}
-		key, err = pki.DecryptKeyPEM(keyData, []byte(pass))
+		key, err = pki.DecryptKeyPEM(keyData, []byte(passphrase))
 		if err != nil {
 			return nil, err
 		}

@@ -223,9 +223,13 @@ func TestContextCancelAbortsInFlightRoundTrip(t *testing.T) {
 // deadline without taking other sessions down with it.
 
 func TestStalledClientEvictedByMessageDeadline(t *testing.T) {
+	// MessageTimeout must be well under the 10s session budget to prove
+	// per-message eviction, but not so tight that the live client's own
+	// think-time (RSA keygen between messages) trips it on a loaded
+	// machine.
 	srv, addr := startServer(t, func(cfg *ServerConfig) {
 		cfg.RequestTimeout = 10 * time.Second
-		cfg.MessageTimeout = 200 * time.Millisecond
+		cfg.MessageTimeout = 2 * time.Second
 	})
 	alice := testpki.User(t, "core-alice")
 	mustPut(t, newClient(t, alice, addr), PutOptions{})
@@ -253,7 +257,7 @@ func TestStalledClientEvictedByMessageDeadline(t *testing.T) {
 
 	// The stalled session is evicted at the message deadline, well before
 	// the 10s session budget.
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(8 * time.Second)
 	for srv.Stats().Timeouts.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("stalled session never evicted")
@@ -270,9 +274,11 @@ func TestStalledClientEvictedByMessageDeadline(t *testing.T) {
 // With MaxConcurrent=1 the per-message deadline is what frees the slot: the
 // stalled client would otherwise starve everyone (accept backpressure).
 func TestStalledClientFreesSlotUnderBackpressure(t *testing.T) {
+	// As above: short enough to free the slot quickly, generous enough
+	// that the live client's keygen pauses don't trip it under load.
 	_, addr := startServer(t, func(cfg *ServerConfig) {
 		cfg.RequestTimeout = 10 * time.Second
-		cfg.MessageTimeout = 150 * time.Millisecond
+		cfg.MessageTimeout = 2 * time.Second
 		cfg.MaxConcurrent = 1
 	})
 	alice := testpki.User(t, "core-alice")

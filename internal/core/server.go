@@ -192,7 +192,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // refusing the listener; close is best-effort
 		return net.ErrClosed
 	}
 	s.listeners[ln] = struct{}{}
@@ -255,7 +255,7 @@ func (s *Server) release() {
 func (s *Server) refuse(raw net.Conn) {
 	s.stats.DrainRefusals.Add(1)
 	s.cfg.logf("refused connection from %v: server draining", raw.RemoteAddr())
-	raw.Close()
+	_ = raw.Close() // refusing the peer; close is best-effort
 }
 
 // track registers an in-flight connection so a drain timeout can cut it off.
@@ -282,7 +282,9 @@ func (s *Server) Close() error {
 		close(s.quit)
 	}
 	for ln := range s.listeners {
-		ln.Close()
+		if err := ln.Close(); err != nil {
+			s.cfg.logf("close listener: %v", err)
+		}
 	}
 	s.mu.Unlock()
 
@@ -301,7 +303,7 @@ func (s *Server) Close() error {
 			for raw := range s.active {
 				s.stats.ForcedCloses.Add(1)
 				s.cfg.logf("drain timeout: force-closing session with %v", raw.RemoteAddr())
-				raw.Close()
+				_ = raw.Close() // cutting the session off; close is best-effort
 			}
 			s.mu.Unlock()
 			<-drained
@@ -323,7 +325,7 @@ func (s *Server) handleRaw(raw net.Conn) {
 		if r := recover(); r != nil {
 			s.stats.Errors.Add(1)
 			s.cfg.logf("panic serving %v: %v", raw.RemoteAddr(), r)
-			raw.Close()
+			_ = raw.Close() // session is already broken; close is best-effort
 		}
 	}()
 	s.track(raw)

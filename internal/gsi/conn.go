@@ -128,7 +128,7 @@ func Dial(ctx context.Context, network, addr string, cred *pki.Credential, opts 
 	}
 	conn, err := Client(raw, cred, opts)
 	if err != nil {
-		raw.Close()
+		_ = raw.Close() // already failing; close is best-effort
 		return nil, err
 	}
 	return conn, nil
@@ -149,7 +149,7 @@ func Client(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error)
 	if err != nil {
 		// Close the raw conn, not the TLS conn: writing close_notify can
 		// block when the rejected peer is not reading.
-		raw.Close()
+		_ = raw.Close() // rejecting the peer; close is best-effort
 		return nil, err
 	}
 	return &Conn{tls: tc, Peer: peer, Local: cred, maxFrame: DefaultMaxFrame}, nil
@@ -168,7 +168,7 @@ func Server(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error)
 	}
 	peer, err := authenticatePeer(tc, opts)
 	if err != nil {
-		raw.Close()
+		_ = raw.Close() // rejecting the peer; close is best-effort
 		return nil, err
 	}
 	return &Conn{tls: tc, Peer: peer, Local: cred, maxFrame: DefaultMaxFrame}, nil
@@ -176,11 +176,11 @@ func Server(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error)
 
 func completeHandshake(tc *tls.Conn, raw net.Conn, opts AuthOptions) error {
 	if err := tc.SetDeadline(handshakeDeadline(opts)); err != nil {
-		raw.Close()
+		_ = raw.Close() // already failing; close is best-effort
 		return err
 	}
 	if err := tc.Handshake(); err != nil {
-		raw.Close()
+		_ = raw.Close() // already failing; close is best-effort
 		return fmt.Errorf("gsi: handshake: %w", err)
 	}
 	return tc.SetDeadline(time.Time{})
@@ -197,26 +197,32 @@ func (c *Conn) SetMessageTimeout(d time.Duration) { c.msgTimeout = d }
 func (c *Conn) SetSessionDeadline(t time.Time) { c.sessionDeadline = t }
 
 // armDeadline applies the per-message deadline, bounded by the session cap.
-func (c *Conn) armDeadline() {
+// A SetDeadline failure (closed connection) must not be swallowed: it would
+// silently disarm the slowloris guard for the message that follows.
+func (c *Conn) armDeadline() error {
 	if c.msgTimeout <= 0 {
-		return
+		return nil
 	}
 	dl := time.Now().Add(c.msgTimeout)
 	if !c.sessionDeadline.IsZero() && c.sessionDeadline.Before(dl) {
 		dl = c.sessionDeadline
 	}
-	c.tls.SetDeadline(dl)
+	return c.tls.SetDeadline(dl)
 }
 
 // WriteMessage sends one framed message over the channel.
 func (c *Conn) WriteMessage(payload []byte) error {
-	c.armDeadline()
+	if err := c.armDeadline(); err != nil {
+		return fmt.Errorf("gsi: arm write deadline: %w", err)
+	}
 	return WriteFrame(c.tls, payload)
 }
 
 // ReadMessage receives one framed message.
 func (c *Conn) ReadMessage() ([]byte, error) {
-	c.armDeadline()
+	if err := c.armDeadline(); err != nil {
+		return nil, fmt.Errorf("gsi: arm read deadline: %w", err)
+	}
 	return ReadFrame(c.tls, c.maxFrame)
 }
 

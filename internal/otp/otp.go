@@ -16,6 +16,7 @@ package otp
 import (
 	"crypto/md5"
 	"crypto/sha1"
+	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -23,6 +24,15 @@ import (
 	"strings"
 	"sync"
 )
+
+// Value is one 64-bit chain value: H^n(seed||passphrase). Every Value is
+// derived from the user's secret pass phrase, and knowing H^(n-1) forges
+// the next login, so Values are secret-labelled for the static-analysis
+// gate: they must never reach a format string and must be compared in
+// constant time (Verify uses subtle.ConstantTimeCompare).
+//
+//myproxy:secret
+type Value [8]byte
 
 // Algorithm selects the hash underlying the chain.
 type Algorithm string
@@ -33,8 +43,8 @@ const (
 )
 
 // fold compresses a digest to 64 bits per RFC 2289 Appendix A.
-func fold(alg Algorithm, digest []byte) ([8]byte, error) {
-	var out [8]byte
+func fold(alg Algorithm, digest []byte) (Value, error) {
+	var out Value
 	switch alg {
 	case MD5:
 		for i := 0; i < 8; i++ {
@@ -64,7 +74,7 @@ func fold(alg Algorithm, digest []byte) ([8]byte, error) {
 	return out, nil
 }
 
-func step(alg Algorithm, in []byte) ([8]byte, error) {
+func step(alg Algorithm, in []byte) (Value, error) {
 	switch alg {
 	case MD5:
 		d := md5.Sum(in)
@@ -73,28 +83,28 @@ func step(alg Algorithm, in []byte) ([8]byte, error) {
 		d := sha1.Sum(in)
 		return fold(alg, d[:])
 	default:
-		return [8]byte{}, fmt.Errorf("otp: unknown algorithm %q", alg)
+		return Value{}, fmt.Errorf("otp: unknown algorithm %q", alg)
 	}
 }
 
 // Compute returns the one-time password for sequence n:
 // fold(H)^n applied to seed||passphrase. The seed is folded to lower case
 // per RFC 2289 §6.0 (seeds are case-insensitive).
-func Compute(alg Algorithm, passphrase, seed string, n int) ([8]byte, error) {
+func Compute(alg Algorithm, passphrase, seed string, n int) (Value, error) {
 	if n < 0 {
-		return [8]byte{}, errors.New("otp: negative sequence number")
+		return Value{}, errors.New("otp: negative sequence number")
 	}
 	if err := validSeed(seed); err != nil {
-		return [8]byte{}, err
+		return Value{}, err
 	}
 	cur, err := step(alg, []byte(strings.ToLower(seed)+passphrase))
 	if err != nil {
-		return [8]byte{}, err
+		return Value{}, err
 	}
 	for i := 0; i < n; i++ {
 		cur, err = step(alg, cur[:])
 		if err != nil {
-			return [8]byte{}, err
+			return Value{}, err
 		}
 	}
 	return cur, nil
@@ -102,7 +112,7 @@ func Compute(alg Algorithm, passphrase, seed string, n int) ([8]byte, error) {
 
 // Next applies one hash step: Next(H^n) = H^(n+1). Clients can walk a
 // chain incrementally instead of recomputing each value from the secret.
-func Next(alg Algorithm, prev [8]byte) ([8]byte, error) {
+func Next(alg Algorithm, prev Value) (Value, error) {
 	return step(alg, prev[:])
 }
 
@@ -128,8 +138,8 @@ func validSeed(seed string) error {
 }
 
 // parseResponse accepts hex with optional spaces, upper or lower case.
-func parseResponse(s string) ([8]byte, error) {
-	var out [8]byte
+func parseResponse(s string) (Value, error) {
+	var out Value
 	clean := strings.Map(func(r rune) rune {
 		if r == ' ' || r == '\t' {
 			return -1
@@ -149,7 +159,7 @@ type state struct {
 	alg  Algorithm
 	seq  int // sequence of the *stored* value; the next response is seq-1
 	seed string
-	last [8]byte
+	last Value
 }
 
 // Registry holds per-user OTP verifier state on the repository.
@@ -234,7 +244,7 @@ func (r *Registry) Verify(username, response string) error {
 	if err != nil {
 		return err
 	}
-	if next != st.last {
+	if subtle.ConstantTimeCompare(next[:], st.last[:]) != 1 {
 		return ErrBadResponse
 	}
 	st.seq--

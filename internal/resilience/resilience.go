@@ -58,7 +58,7 @@ type Policy struct {
 // concurrency-safe, so guard it.
 var (
 	randMu     sync.Mutex
-	sharedRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	sharedRand = rand.New(rand.NewSource(time.Now().UnixNano())) //myproxy:allow weakrand backoff jitter decorrelates retry storms; not key material
 )
 
 func defaultRand() float64 {
@@ -203,7 +203,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
 			if err != nil {
-				return fmt.Errorf("resilience: %w (interrupted: %v)", err, ctx.Err())
+				return fmt.Errorf("resilience: %w (interrupted: %v)", err, ctx.Err()) //myproxy:allow errwrap classification must track the primary op error, not the interrupt
 			}
 			return ctx.Err()
 		}
@@ -234,7 +234,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 			p.OnRetry(attempt, err, backoff)
 		}
 		if serr := p.sleep(ctx, backoff); serr != nil {
-			return fmt.Errorf("resilience: %w (interrupted: %v)", err, serr)
+			return fmt.Errorf("resilience: %w (interrupted: %v)", err, serr) //myproxy:allow errwrap classification must track the primary op error, not the interrupt
 		}
 	}
 }

@@ -70,7 +70,7 @@ func (d *Deployment) RunPortalDay(ctx context.Context, cfg DayConfig) (*DayStats
 	}
 
 	// Pre-generate the deterministic trace: one entry per session.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(cfg.Seed)) //myproxy:allow weakrand deterministic seeded workload trace; reproducibility requires math/rand
 	type session struct {
 		portal, user, jobs int
 		badPass            bool

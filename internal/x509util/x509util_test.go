@@ -20,6 +20,7 @@ func TestPoolOf(t *testing.T) {
 	// The pool must actually contain the certificate: a chain signed by
 	// the CA verifies against it.
 	user := testpki.User(t, "poolof-user")
+	//myproxy:allow rawverify EEC-to-CA chain with no proxies; asserts the pool contents, not proxy validation
 	if _, err := user.Certificate.Verify(verifyOpts(pool)); err != nil {
 		t.Errorf("Verify: %v", err)
 	}

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== myproxy-vet ./..."
+go run ./cmd/myproxy-vet ./...
+
 echo "== go build ./..."
 go build ./...
 
