@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench clean
+.PHONY: all build vet lint test race race-hotpath check bench clean
 
 all: build
 
@@ -26,7 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: vet lint build race
+# race-hotpath re-runs the concurrency-heavy performance substrate (key
+# pool, GSI channels, repository core) under the race detector with a
+# fresh count, independent of the cached full run.
+race-hotpath:
+	$(GO) test -race -count=1 ./internal/keypool ./internal/gsi ./internal/core
+
+check: vet lint build race-hotpath race
 
 # Short benchmark smoke pass (full runs are driven by cmd/experiments).
 bench:

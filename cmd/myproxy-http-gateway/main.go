@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/credstore"
 	"repro/internal/httpgate"
+	"repro/internal/keypool"
 	"repro/internal/pki"
 	"repro/internal/policy"
 )
@@ -28,6 +29,7 @@ func main() {
 	retrieversFile := flag.String("retrievers", "", "authorized_retrievers ACL file; required")
 	maxDelegHours := flag.Int("max-proxy-hours", 12, "maximum delegated proxy lifetime")
 	kdfIter := flag.Int("kdf-iter", pki.DefaultKDFIterations, "PBKDF2 iterations for sealing")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size (0 disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "myproxy-http-gateway: ", log.LstdFlags)
@@ -57,7 +59,7 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("myproxy-http-gateway: %v", err)
 	}
-	g, err := httpgate.New(core.ServerConfig{
+	cfg := core.ServerConfig{
 		Credential:           cred,
 		Roots:                roots,
 		Store:                store,
@@ -66,7 +68,13 @@ func main() {
 		Lifetimes:            policy.LifetimePolicy{MaxDelegated: time.Duration(*maxDelegHours) * time.Hour},
 		KDFIterations:        *kdfIter,
 		Logger:               logger,
-	})
+	}
+	if *keypoolSize > 0 {
+		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		defer pool.Close()
+		cfg.KeySource = pool
+	}
+	g, err := httpgate.New(cfg)
 	if err != nil {
 		cliutil.Fatalf("myproxy-http-gateway: %v", err)
 	}

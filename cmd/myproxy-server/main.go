@@ -18,6 +18,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/credstore"
+	"repro/internal/keypool"
 	"repro/internal/pki"
 	"repro/internal/policy"
 	"repro/internal/proxy"
@@ -41,6 +42,7 @@ func main() {
 	msgTimeout := flag.Duration("message-timeout", 0, "per-message I/O deadline, evicts stalled peers (0 = session timeout)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown (0 = wait forever)")
 	statsFile := flag.String("stats-file", "", "stats snapshot file for myproxy-admin stats (default <store>/server.stats)")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size for deposits (0 disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "myproxy-server: ", log.LstdFlags)
@@ -105,6 +107,11 @@ func main() {
 	}
 	if *legacyProxies {
 		cfg.DelegationProxyType = proxy.Legacy
+	}
+	if *keypoolSize > 0 {
+		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		defer pool.Close()
+		cfg.KeySource = pool
 	}
 	if *crlFile != "" {
 		crls, err := pki.LoadCRLs(*crlFile)

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/keypool"
+	"repro/internal/pki"
 	"repro/internal/portal"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	mssAddr := flag.String("mss", "", "mass storage address (optional)")
 	sessionHours := flag.Float64("session-hours", 8, "maximum web session lifetime")
 	proxyHours := flag.Float64("proxy-hours", 2, "delegated proxy lifetime requested at login")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size for login delegations (0 disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "portal: ", log.LstdFlags)
@@ -37,7 +40,7 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("portal-server: %v", err)
 	}
-	p, err := portal.New(portal.Config{
+	cfg := portal.Config{
 		Credential:      cred,
 		Roots:           roots,
 		MyProxyAddr:     *myproxyAddr,
@@ -48,7 +51,13 @@ func main() {
 		SessionLifetime: time.Duration(*sessionHours * float64(time.Hour)),
 		ProxyLifetime:   time.Duration(*proxyHours * float64(time.Hour)),
 		Logger:          logger,
-	})
+	}
+	if *keypoolSize > 0 {
+		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		defer pool.Close()
+		cfg.KeySource = pool
+	}
+	p, err := portal.New(cfg)
 	if err != nil {
 		cliutil.Fatalf("portal-server: %v", err)
 	}

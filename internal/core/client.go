@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/tls"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -46,6 +47,10 @@ type Client struct {
 	// KeyBits sizes keys generated for incoming delegations; 0 selects
 	// pki.DefaultKeyBits.
 	KeyBits int
+	// KeySource, when non-nil, supplies delegation key pairs (typically a
+	// keypool.Pool shared across clients), taking RSA generation off the
+	// request path. nil generates synchronously.
+	KeySource proxy.KeySource
 	// ProxyType selects the style of proxy delegated *to* the repository
 	// by Put; the zero value selects proxy.RFC3820.
 	ProxyType proxy.Type
@@ -60,6 +65,17 @@ type Client struct {
 	// Stats, when non-nil, receives the client-side resilience counters
 	// (Retries, Ambiguous); share one Stats across clients to aggregate.
 	Stats *Stats
+
+	// Connection-establishment fast-path state, built once per Client on
+	// first use: a TLS session cache (keyed per destination address) so
+	// repeat connections resume instead of full-handshaking, and a chain
+	// verification cache so the repository's unchanged credential chain is
+	// not re-walked every operation. Both are transparent to semantics —
+	// peer verification (including revocation) runs on every connection.
+	connOnce    sync.Once
+	tlsCfg      *tls.Config
+	verifyCache *proxy.VerifyCache
+	connErr     error
 }
 
 // ErrOTPRequired is returned (wrapped) when the repository demands a
@@ -119,6 +135,13 @@ func (c *Client) connect(ctx context.Context) (*clientConn, error) {
 	if c.Roots == nil {
 		return nil, resilience.Permanent(errors.New("core: client requires trust roots"))
 	}
+	c.connOnce.Do(func() {
+		c.tlsCfg, c.connErr = gsi.NewClientTLSConfig(c.Credential, tls.NewLRUClientSessionCache(0))
+		c.verifyCache = proxy.NewVerifyCache(0)
+	})
+	if c.connErr != nil {
+		return nil, resilience.Permanent(c.connErr)
+	}
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
@@ -127,6 +150,8 @@ func (c *Client) connect(ctx context.Context) (*clientConn, error) {
 		Roots:            c.Roots,
 		ExpectedPeer:     c.ExpectedServer,
 		HandshakeTimeout: timeout,
+		Cache:            c.verifyCache,
+		TLSConfig:        c.tlsCfg,
 	}
 	var raw net.Conn
 	var err error
@@ -364,7 +389,7 @@ func (c *Client) getOnce(ctx context.Context, opts GetOptions) (*pki.Credential,
 	if _, err := c.roundTrip(conn.Conn, req, ""); err != nil {
 		return nil, err
 	}
-	cred, err := gsi.RequestDelegation(conn.Conn, c.KeyBits, c.Roots)
+	cred, err := gsi.RequestDelegationFrom(conn.Conn, c.KeySource, c.KeyBits, c.Roots)
 	if err != nil {
 		return nil, fmt.Errorf("core: receive delegation: %w", err)
 	}

@@ -83,6 +83,17 @@ type ServerConfig struct {
 	// DelegationKeyBits is the key size the server generates for imported
 	// (PUT) credentials; 0 selects pki.DefaultKeyBits.
 	DelegationKeyBits int
+	// KeySource, when non-nil, supplies pre-generated key pairs for
+	// imported (PUT) credentials — typically a keypool.Pool sized by the
+	// -keypool flag — taking RSA generation off the deposit path. nil
+	// generates synchronously.
+	KeySource proxy.KeySource
+	// VerifyCache, when non-nil, memoizes client chain verifications so
+	// repeat connections from the same portal skip the RSA chain walk;
+	// nil lets NewServer build a default-sized cache. Revocation is
+	// re-checked on every cache hit, and the cache is invalidated when
+	// the revocation hook is replaced (Server.SetRevoked).
+	VerifyCache *proxy.VerifyCache
 
 	// OTP, when non-nil, holds one-time-password state per username
 	// (paper §6.3). Users registered in it must answer the current OTP

@@ -92,16 +92,18 @@ func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
 		return err
 	}
 	// Import the credential: the client is the exporter, so the private
-	// key is generated here and never crosses the wire.
-	cred, err := gsi.RequestDelegation(conn, s.cfg.DelegationKeyBits, s.cfg.Roots)
+	// key is generated here — drawn from the background pool when one is
+	// configured — and never crosses the wire.
+	cred, err := gsi.RequestDelegationFrom(conn, s.cfg.KeySource, s.cfg.DelegationKeyBits, s.cfg.Roots)
 	if err != nil {
 		s.respond(conn, protocol.ErrorResponse("delegation failed: %v", err))
 		return fmt.Errorf("PUT delegation from %s: %w", peer, err)
 	}
 	// The delegated chain must carry the authenticated peer's identity:
-	// clients may only deposit their own credentials.
+	// clients may only deposit their own credentials. The chain's leaf is
+	// freshly minted, so this verification is never cache-served.
 	res, err := proxy.Verify(cred.CertChain(), proxy.VerifyOptions{
-		Roots: s.cfg.Roots, MaxDepth: s.cfg.MaxChainDepth, IsRevoked: s.cfg.IsRevoked,
+		Roots: s.cfg.Roots, MaxDepth: s.cfg.MaxChainDepth, IsRevoked: s.revocationHook(),
 	})
 	if err != nil {
 		s.respond(conn, protocol.ErrorResponse("delegated chain invalid: %v", err))

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"repro/internal/keypool"
+	"repro/internal/testpki"
+)
+
+// TestCRLReloadRejectsCachedAndResumedPeer pins the revocation semantics of
+// the performance substrate end to end: after a CRL reload (SetRevoked),
+// a peer whose chain verification was cached AND whose TLS session can be
+// resumed must be rejected on its very first new connection.
+func TestCRLReloadRejectsCachedAndResumedPeer(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	alice := testpki.User(t, "core-revoke-alice")
+	cli := newClient(t, alice, addr)
+	ctx := context.Background()
+
+	// Two operations on one client: the first primes the server's verify
+	// cache and mints a TLS session ticket; the second rides both.
+	mustPut(t, cli, PutOptions{Lifetime: 24 * time.Hour})
+	mustPut(t, cli, PutOptions{Lifetime: 24 * time.Hour})
+	if srv.VerifyCache().Hits() == 0 {
+		t.Fatal("second connection did not hit the server verify cache; test premise broken")
+	}
+
+	// "CRL reload": alice's end-entity certificate is now revoked.
+	serial := alice.Certificate.SerialNumber.String()
+	srv.SetRevoked(func(c *x509.Certificate) bool {
+		return c.SerialNumber.String() == serial
+	})
+
+	if err := cli.Put(ctx, PutOptions{
+		Username: testUser, Passphrase: testPass, Lifetime: 24 * time.Hour,
+	}); err == nil {
+		t.Fatal("revoked peer accepted on first connection after CRL reload")
+	}
+
+	// An unrevoked identity still gets in — the reload rejected the revoked
+	// chain, not the world.
+	bob := testpki.User(t, "core-revoke-bob")
+	mustPut(t, newClient(t, bob, addr), PutOptions{Username: "bob", Lifetime: 24 * time.Hour})
+}
+
+// TestClientKeySourcePooledDelegation runs Fig. 1 + Fig. 2 with both sides
+// drawing keys from pools, and proves pooled keys end up in the delegated
+// credentials (the pool serves, the chain still verifies).
+func TestClientKeySourcePooledDelegation(t *testing.T) {
+	clientPool := keypool.New(4, 1, 1024)
+	defer clientPool.Close()
+	serverPool := keypool.New(4, 1, 1024)
+	defer serverPool.Close()
+
+	// Key generation takes tens of milliseconds; wait for at least one warm
+	// key per pool so the flows below actually exercise the pooled path.
+	waitWarm := func(p *keypool.Pool) {
+		t.Helper()
+		deadline := time.After(2 * time.Minute)
+		for p.Snapshot().Ready == 0 {
+			select {
+			case <-deadline:
+				t.Fatalf("pool never warmed: %+v", p.Snapshot())
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	waitWarm(serverPool)
+	waitWarm(clientPool)
+
+	srv, addr := startServer(t, func(cfg *ServerConfig) {
+		cfg.KeySource = serverPool
+	})
+	alice := testpki.User(t, "core-pool-alice")
+	userCli := newClient(t, alice, addr)
+	userCli.KeySource = clientPool
+	mustPut(t, userCli, PutOptions{Lifetime: 24 * time.Hour})
+
+	portal := testpki.Host(t, "portal.test")
+	portalCli := newClient(t, portal, addr)
+	portalCli.KeySource = clientPool
+	cred, err := portalCli.Get(context.Background(), GetOptions{
+		Username: testUser, Passphrase: testPass, Lifetime: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Get with pooled keys: %v", err)
+	}
+	if cred.PrivateKey.N.BitLen() != 1024 {
+		t.Fatalf("delegated key is %d bits, want 1024", cred.PrivateKey.N.BitLen())
+	}
+	if err := cred.Validate(time.Now()); err != nil {
+		t.Fatalf("pooled-key credential invalid: %v", err)
+	}
+	// PUT consumes a server-pool key (the imported credential's key pair),
+	// GET a client-pool key (the CSR the portal sends).
+	if serverPool.Snapshot().Hits == 0 {
+		t.Error("server PUT path never drew from its pool")
+	}
+	if clientPool.Snapshot().Hits == 0 {
+		t.Error("client GET path never drew from its pool")
+	}
+	if srv.Stats().Puts.Load() != 1 || srv.Stats().Gets.Load() != 1 {
+		t.Errorf("stats = %v", srv.Stats().Snapshot())
+	}
+}

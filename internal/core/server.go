@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/credstore"
 	"repro/internal/gsi"
 	"repro/internal/policy"
+	"repro/internal/proxy"
 )
 
 // Server is a MyProxy repository server (paper §4).
@@ -18,6 +21,14 @@ type Server struct {
 	cfg   ServerConfig
 	store credstore.Store
 	stats Stats
+
+	// tlsCfg is shared across all accepted connections so TLS session
+	// tickets resume (the ticket keys live in the config); verifyCache
+	// memoizes client chain verifications across connections; isRevoked
+	// holds the swappable revocation hook (SetRevoked).
+	tlsCfg      *tls.Config
+	verifyCache *proxy.VerifyCache
+	isRevoked   atomic.Value // of func(*x509.Certificate) bool
 
 	// sem, when non-nil, caps concurrently served connections
 	// (cfg.MaxConcurrent); the accept loop blocks on it — backpressure
@@ -106,13 +117,24 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if store == nil {
 		store = credstore.NewMemStore()
 	}
-	s := &Server{
-		cfg:       cfg,
-		store:     store,
-		listeners: make(map[net.Listener]struct{}),
-		active:    make(map[net.Conn]struct{}),
-		quit:      make(chan struct{}),
+	tlsCfg, err := gsi.NewServerTLSConfig(cfg.Credential)
+	if err != nil {
+		return nil, err
 	}
+	verifyCache := cfg.VerifyCache
+	if verifyCache == nil {
+		verifyCache = proxy.NewVerifyCache(0)
+	}
+	s := &Server{
+		cfg:         cfg,
+		store:       store,
+		tlsCfg:      tlsCfg,
+		verifyCache: verifyCache,
+		listeners:   make(map[net.Listener]struct{}),
+		active:      make(map[net.Conn]struct{}),
+		quit:        make(chan struct{}),
+	}
+	s.isRevoked.Store(cfg.IsRevoked)
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
@@ -170,6 +192,25 @@ func (s *Server) flushStats() {
 
 // Store exposes the backing store (admin tooling, tests).
 func (s *Server) Store() credstore.Store { return s.store }
+
+// VerifyCache exposes the chain-verification cache (diagnostics, tests).
+func (s *Server) VerifyCache() *proxy.VerifyCache { return s.verifyCache }
+
+// revocationHook returns the current revocation hook (possibly nil).
+func (s *Server) revocationHook() func(*x509.Certificate) bool {
+	fn, _ := s.isRevoked.Load().(func(*x509.Certificate) bool)
+	return fn
+}
+
+// SetRevoked atomically replaces the revocation hook — the CRL-reload
+// entry point — and invalidates the verification cache so no cached
+// verdict predates the new revocation data. The next connection from a
+// newly revoked chain is rejected even if its chain was cached or its TLS
+// session is resumed.
+func (s *Server) SetRevoked(fn func(*x509.Certificate) bool) {
+	s.isRevoked.Store(fn)
+	s.verifyCache.Invalidate()
+}
 
 // Stats exposes the operation counters.
 func (s *Server) Stats() *Stats { return &s.stats }
@@ -341,8 +382,10 @@ func (s *Server) handleRaw(raw net.Conn) {
 	conn, err := gsi.Server(raw, s.cfg.Credential, gsi.AuthOptions{
 		Roots:            s.cfg.Roots,
 		MaxDepth:         s.cfg.MaxChainDepth,
-		IsRevoked:        s.cfg.IsRevoked,
+		IsRevoked:        s.revocationHook(),
 		HandshakeTimeout: msgTimeout,
+		Cache:            s.verifyCache,
+		TLSConfig:        s.tlsCfg,
 	})
 	if err != nil {
 		s.stats.AuthFailures.Add(1)

@@ -31,6 +31,16 @@ type AuthOptions struct {
 	ExpectedPeer string
 	// HandshakeTimeout bounds the TLS handshake (0 = 30s).
 	HandshakeTimeout time.Duration
+	// Cache, when non-nil, memoizes peer chain verifications (see
+	// proxy.VerifyCache). Revocation is re-checked on every hit, so a CRL
+	// reload takes effect on the next connection regardless of caching.
+	Cache *proxy.VerifyCache
+	// TLSConfig, when non-nil, is a shared TLS configuration built by
+	// NewClientTLSConfig or NewServerTLSConfig. Sharing one config across
+	// connections is what makes session resumption work: the server's
+	// ticket keys and the client's session cache live in the config. nil
+	// builds a fresh per-connection config (no resumption).
+	TLSConfig *tls.Config
 }
 
 // Conn is a mutually authenticated GSI channel. All payloads are protected
@@ -43,6 +53,9 @@ type Conn struct {
 	Peer *proxy.Result
 	// Local is the credential this side authenticated with.
 	Local *pki.Credential
+	// Resumed reports whether the TLS layer resumed a previous session
+	// (abbreviated handshake). Peer verification ran either way.
+	Resumed bool
 
 	maxFrame int
 
@@ -84,6 +97,31 @@ func baseTLSConfig(cred *pki.Credential) (*tls.Config, error) {
 	}, nil
 }
 
+// NewClientTLSConfig builds a TLS configuration for the initiating side of
+// GSI channels, shared across connections so sessions resume. sessions,
+// when non-nil, caches session tickets per destination (the standard
+// library keys the cache by server address when no ServerName is set), so
+// a portal's second and later connections to the same repository skip the
+// full handshake's RSA exchange. Resumption changes nothing above the
+// transport: authenticatePeer re-verifies the peer chain on every
+// connection, resumed or not.
+func NewClientTLSConfig(cred *pki.Credential, sessions tls.ClientSessionCache) (*tls.Config, error) {
+	cfg, err := baseTLSConfig(cred)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ClientSessionCache = sessions
+	return cfg, nil
+}
+
+// NewServerTLSConfig builds a TLS configuration for the accepting side of
+// GSI channels. Reuse one config for all connections of a listener: the
+// automatically rotated session ticket keys live in the config, so
+// per-connection configs silently disable resumption.
+func NewServerTLSConfig(cred *pki.Credential) (*tls.Config, error) {
+	return baseTLSConfig(cred)
+}
+
 // authenticatePeer validates the peer chain from the completed handshake.
 func authenticatePeer(tc *tls.Conn, opts AuthOptions) (*proxy.Result, error) {
 	if opts.Roots == nil {
@@ -93,7 +131,11 @@ func authenticatePeer(tc *tls.Conn, opts AuthOptions) (*proxy.Result, error) {
 	if len(state.PeerCertificates) == 0 {
 		return nil, errors.New("gsi: peer presented no certificates")
 	}
-	res, err := proxy.Verify(state.PeerCertificates, proxy.VerifyOptions{
+	// A resumed TLS session restores the peer chain from the session state
+	// rather than re-transmitting it; either way the chain is re-verified
+	// here on every connection (opts.Cache only makes the re-verification
+	// cheap, it never skips revocation).
+	res, err := opts.Cache.Verify(state.PeerCertificates, proxy.VerifyOptions{
 		Roots:     opts.Roots,
 		MaxDepth:  opts.MaxDepth,
 		IsRevoked: opts.IsRevoked,
@@ -137,9 +179,13 @@ func Dial(ctx context.Context, network, addr string, cred *pki.Credential, opts 
 // Client wraps an established net.Conn as the initiating side of a GSI
 // channel.
 func Client(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error) {
-	cfg, err := baseTLSConfig(cred)
-	if err != nil {
-		return nil, err
+	cfg := opts.TLSConfig
+	if cfg == nil {
+		var err error
+		cfg, err = baseTLSConfig(cred)
+		if err != nil {
+			return nil, err
+		}
 	}
 	tc := tls.Client(raw, cfg)
 	if err := completeHandshake(tc, raw, opts); err != nil {
@@ -152,15 +198,19 @@ func Client(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error)
 		_ = raw.Close() // rejecting the peer; close is best-effort
 		return nil, err
 	}
-	return &Conn{tls: tc, Peer: peer, Local: cred, maxFrame: DefaultMaxFrame}, nil
+	return &Conn{tls: tc, Peer: peer, Local: cred, Resumed: tc.ConnectionState().DidResume, maxFrame: DefaultMaxFrame}, nil
 }
 
 // Server wraps an accepted net.Conn as the responding side of a GSI channel,
 // requiring and verifying a client certificate chain.
 func Server(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error) {
-	cfg, err := baseTLSConfig(cred)
-	if err != nil {
-		return nil, err
+	cfg := opts.TLSConfig
+	if cfg == nil {
+		var err error
+		cfg, err = baseTLSConfig(cred)
+		if err != nil {
+			return nil, err
+		}
 	}
 	tc := tls.Server(raw, cfg)
 	if err := completeHandshake(tc, raw, opts); err != nil {
@@ -171,7 +221,7 @@ func Server(raw net.Conn, cred *pki.Credential, opts AuthOptions) (*Conn, error)
 		_ = raw.Close() // rejecting the peer; close is best-effort
 		return nil, err
 	}
-	return &Conn{tls: tc, Peer: peer, Local: cred, maxFrame: DefaultMaxFrame}, nil
+	return &Conn{tls: tc, Peer: peer, Local: cred, Resumed: tc.ConnectionState().DidResume, maxFrame: DefaultMaxFrame}, nil
 }
 
 func completeHandshake(tc *tls.Conn, raw net.Conn, opts AuthOptions) error {

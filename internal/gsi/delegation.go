@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/x509"
@@ -24,7 +25,20 @@ import (
 // credential. The returned credential is verified against roots before
 // being accepted. keyBits == 0 selects pki.DefaultKeyBits.
 func RequestDelegation(conn *Conn, keyBits int, roots *x509.CertPool) (*pki.Credential, error) {
-	key, err := pki.GenerateKey(keyBits)
+	return RequestDelegationFrom(conn, nil, keyBits, roots)
+}
+
+// RequestDelegationFrom is RequestDelegation with the key pair drawn from
+// keys (typically a keypool.Pool), taking fresh-key generation off the
+// delegation hot path. A nil source generates synchronously.
+func RequestDelegationFrom(conn *Conn, keys proxy.KeySource, keyBits int, roots *x509.CertPool) (*pki.Credential, error) {
+	var key *rsa.PrivateKey
+	var err error
+	if keys != nil {
+		key, err = keys.Get(context.Background(), keyBits)
+	} else {
+		key, err = pki.GenerateKey(keyBits)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,175 @@
+package gsi
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/proxy"
+	"repro/internal/testpki"
+)
+
+// sharedConfigs builds the shared client/server TLS configs that make
+// session resumption possible: the server's ticket keys and the client's
+// session cache both live in the config, so both sides must reuse one
+// config across connections.
+func sharedConfigs(t *testing.T, user, server *pki.Credential) (*tls.Config, *tls.Config) {
+	t.Helper()
+	cliCfg, err := NewClientTLSConfig(user, tls.NewLRUClientSessionCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg, err := NewServerTLSConfig(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cliCfg, srvCfg
+}
+
+// dialOnce makes one client connection against ln. The resumption tests use
+// real TCP (not net.Pipe) because TLS 1.3 session tickets are written by the
+// server after its Finished message; net.Pipe's unbuffered writes would
+// deadlock the handshake, while a TCP socket buffers them — exactly the
+// production situation. The server-side error is returned separately: a
+// server can reject a peer whose client-side handshake already succeeded.
+func dialOnce(t *testing.T, ln net.Listener, user, server *pki.Credential, cliOpts, srvOpts AuthOptions) (cli, srv *Conn, cliErr, srvErr error) {
+	t.Helper()
+	type res struct {
+		conn *Conn
+		err  error
+	}
+	srvCh := make(chan res, 1)
+	go func() {
+		raw, err := ln.Accept()
+		if err != nil {
+			srvCh <- res{nil, err}
+			return
+		}
+		c, err := Server(raw, server, srvOpts)
+		srvCh <- res{c, err}
+	}()
+	raw, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cli, cliErr = Client(raw, user, cliOpts)
+	sr := <-srvCh
+	t.Cleanup(func() {
+		if cli != nil {
+			cli.Close()
+		}
+		if sr.conn != nil {
+			sr.conn.Close()
+		}
+	})
+	return cli, sr.conn, cliErr, sr.err
+}
+
+// drainTickets drives the client through any pending post-handshake
+// messages (TLS 1.3 delivers session tickets after the handshake proper;
+// the client only caches them while reading). The read deadline bounds the
+// wait; the timeout itself is expected — no application data is coming.
+func drainTickets(cli *Conn) {
+	cli.tls.SetDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 1)
+	cli.tls.Read(buf)
+	cli.tls.SetDeadline(time.Time{})
+}
+
+func resumptionListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestSessionResumptionSecondConnectionResumes proves the performance
+// property: with shared configs and a session cache, the second connection
+// uses an abbreviated handshake — and peer identity is still verified on it.
+func TestSessionResumptionSecondConnectionResumes(t *testing.T) {
+	user := testpki.User(t, "gsi-resume-alice")
+	server := testpki.Host(t, "myproxy.test")
+	cliCfg, srvCfg := sharedConfigs(t, user, server)
+	cliOpts, srvOpts := defaultOpts(t), defaultOpts(t)
+	cliOpts.TLSConfig = cliCfg
+	srvOpts.TLSConfig = srvCfg
+	ln := resumptionListener(t)
+
+	first, firstSrv, cliErr, srvErr := dialOnce(t, ln, user, server, cliOpts, srvOpts)
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("first connection: client=%v server=%v", cliErr, srvErr)
+	}
+	if first.Resumed || firstSrv.Resumed {
+		t.Fatal("first connection claims to be resumed")
+	}
+	drainTickets(first)
+	first.Close()
+	firstSrv.Close()
+
+	second, secondSrv, cliErr, srvErr := dialOnce(t, ln, user, server, cliOpts, srvOpts)
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("second connection: client=%v server=%v", cliErr, srvErr)
+	}
+	if !second.Resumed || !secondSrv.Resumed {
+		t.Fatalf("second connection not resumed (client=%v server=%v)",
+			second.Resumed, secondSrv.Resumed)
+	}
+	// Peer verification ran on the resumed connection too: the server still
+	// holds alice's verified chain, not just a ticket.
+	if got := secondSrv.PeerIdentity(); got != user.Subject() {
+		t.Errorf("server saw peer %q after resumption, want %q", got, user.Subject())
+	}
+	if secondSrv.Peer == nil || secondSrv.Peer.EEC == nil {
+		t.Fatal("resumed connection lost the verified peer result")
+	}
+}
+
+// TestSessionResumptionStillEnforcesRevocation is the security property:
+// a session ticket is not a bypass. A peer revoked between connections is
+// refused even on a connection that the TLS layer resumes.
+func TestSessionResumptionStillEnforcesRevocation(t *testing.T) {
+	user := testpki.User(t, "gsi-resume-alice")
+	server := testpki.Host(t, "myproxy.test")
+	cliCfg, srvCfg := sharedConfigs(t, user, server)
+
+	serial := user.Certificate.SerialNumber.String()
+	revoked := false
+	cliOpts, srvOpts := defaultOpts(t), defaultOpts(t)
+	cliOpts.TLSConfig = cliCfg
+	srvOpts.TLSConfig = srvCfg
+	srvOpts.Cache = proxy.NewVerifyCache(0)
+	srvOpts.IsRevoked = func(c *x509.Certificate) bool {
+		return revoked && c.SerialNumber.String() == serial
+	}
+	ln := resumptionListener(t)
+
+	// First connection: full handshake, primes ticket and verify cache.
+	first, firstSrv, cliErr, srvErr := dialOnce(t, ln, user, server, cliOpts, srvOpts)
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("first connection: client=%v server=%v", cliErr, srvErr)
+	}
+	drainTickets(first)
+	first.Close()
+	firstSrv.Close()
+
+	// "CRL reload": alice is revoked and the verify cache is flushed.
+	revoked = true
+	srvOpts.Cache.Invalidate()
+
+	// The next connection resumes at the TLS layer — the ticket is still
+	// valid — but the post-handshake chain verification must refuse it.
+	_, _, _, srvErr = dialOnce(t, ln, user, server, cliOpts, srvOpts)
+	if srvErr == nil {
+		t.Fatal("revoked peer accepted on a resumed session")
+	}
+	if !strings.Contains(srvErr.Error(), "revoked") {
+		t.Fatalf("rejection reason = %v, want revocation", srvErr)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/rand"
+	"crypto/rsa"
 	"crypto/tls"
 	"crypto/x509"
 	"encoding/json"
@@ -34,6 +35,9 @@ type Client struct {
 	ServerName string
 	// KeyBits sizes generated delegation keys (0 = pki.DefaultKeyBits).
 	KeyBits int
+	// KeySource, when non-nil, supplies delegation key pairs (typically a
+	// keypool.Pool); nil generates synchronously.
+	KeySource proxy.KeySource
 	// Timeout bounds one call (0 = 30s).
 	Timeout time.Duration
 
@@ -63,6 +67,9 @@ func (c *Client) client() (*http.Client, error) {
 				RootCAs:      c.Roots,
 				ServerName:   c.ServerName,
 				MinVersion:   tls.VersionTLS12,
+				// Resume sessions when the transport has to redial (idle
+				// timeout, connection churn under load).
+				ClientSessionCache: tls.NewLRUClientSessionCache(0),
 			},
 		},
 	}
@@ -118,7 +125,13 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 // Get performs the single-round-trip Figure 2: generate a key locally,
 // send a CSR, receive the delegated chain, and assemble the credential.
 func (c *Client) Get(ctx context.Context, req GetRequest) (*pki.Credential, error) {
-	key, err := pki.GenerateKey(c.KeyBits)
+	var key *rsa.PrivateKey
+	var err error
+	if c.KeySource != nil {
+		key, err = c.KeySource.Get(ctx, c.KeyBits)
+	} else {
+		key, err = pki.GenerateKey(c.KeyBits)
+	}
 	if err != nil {
 		return nil, err
 	}

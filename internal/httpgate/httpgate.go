@@ -37,6 +37,10 @@ type Gateway struct {
 	cfg   core.ServerConfig
 	store credstore.Store
 	mux   *http.ServeMux
+	// verifyCache memoizes client chain verifications across requests —
+	// the same portal chain authenticates every call, and net/http opens
+	// fresh TLS connections often enough that re-walking it is measurable.
+	verifyCache *proxy.VerifyCache
 }
 
 // New builds a gateway from a repository configuration. The same
@@ -55,7 +59,11 @@ func New(cfg core.ServerConfig) (*Gateway, error) {
 	if store == nil {
 		store = credstore.NewMemStore()
 	}
-	g := &Gateway{cfg: cfg, store: store, mux: http.NewServeMux()}
+	verifyCache := cfg.VerifyCache
+	if verifyCache == nil {
+		verifyCache = proxy.NewVerifyCache(0)
+	}
+	g := &Gateway{cfg: cfg, store: store, mux: http.NewServeMux(), verifyCache: verifyCache}
 	g.mux.HandleFunc("POST /v1/get", g.requireIdentity(g.handleGet))
 	g.mux.HandleFunc("GET /v1/info", g.requireIdentity(g.handleInfo))
 	g.mux.HandleFunc("POST /v1/store", g.requireIdentity(g.handleStore))
@@ -118,7 +126,7 @@ func (g *Gateway) requireIdentity(h identityHandler) http.HandlerFunc {
 			writeErr(w, http.StatusUnauthorized, "client certificate required")
 			return
 		}
-		res, err := proxy.Verify(r.TLS.PeerCertificates, proxy.VerifyOptions{
+		res, err := g.verifyCache.Verify(r.TLS.PeerCertificates, proxy.VerifyOptions{
 			Roots:       g.cfg.Roots,
 			MaxDepth:    g.cfg.MaxChainDepth,
 			IsRevoked:   g.cfg.IsRevoked,

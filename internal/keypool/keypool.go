@@ -1,0 +1,241 @@
+// Package keypool pre-generates RSA key pairs off the request path.
+//
+// Every delegation in the paper's flows (Fig. 1 init, Fig. 2
+// get-delegation, Fig. 3 portal login) needs a fresh key pair for the
+// delegated proxy, and rsa.GenerateKey dominates the hot-path cost at
+// portal scale. A Pool moves that work to background workers that keep a
+// bounded channel of ready keys; the hot path does a channel receive
+// instead of a modular-arithmetic search. When the pool is drained, or the
+// caller asks for a bit size the pool does not stock, Get falls back to
+// synchronous generation, so a Pool is an accelerator, never a
+// correctness dependency — a nil *Pool is valid and always falls back.
+//
+// Refill uses hysteresis: workers sleep while stock is above a low-water
+// mark (half the pool) and batch-refill to full when it drops below. That
+// keeps workers off the CPU during request bursts — important on small
+// hosts, where a worker generating after every single Get would steal
+// exactly the cycles the pool is meant to save — and concentrates
+// generation in the idle gaps between bursts.
+package keypool
+
+import (
+	"context"
+	"crypto/rsa"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pki"
+)
+
+// ErrClosed is returned by Get when the pool was closed while the call was
+// in flight. Callers that outlive their pool should treat it like a
+// cancellation.
+var ErrClosed = errors.New("keypool: pool is closed")
+
+// Pool is a bounded background RSA key-pair generator. It is safe for
+// concurrent use; the zero of *Pool (nil) is a valid always-fallback pool.
+type Pool struct {
+	bits int
+	keys chan *rsa.PrivateKey
+	done chan struct{}
+	// low is the refill threshold; wake carries the (coalesced) signal
+	// that stock dropped to or below it.
+	low  int
+	wake chan struct{}
+
+	closeOnce sync.Once
+	workers   sync.WaitGroup
+
+	// generate is pki.GenerateKey, injectable for tests that need a slow
+	// or counting generator.
+	generate func(bits int) (*rsa.PrivateKey, error)
+
+	hits, misses, generated atomic.Int64
+}
+
+// DefaultSize is the pooled-key target used when New is given size <= 0.
+const DefaultSize = 32
+
+// New starts a pool that keeps up to size keys of the given bit size warm,
+// filled by workers background goroutines. bits == 0 selects
+// pki.DefaultKeyBits; size <= 0 selects DefaultSize; workers <= 0 selects
+// 2. The pool generates keys until Close.
+func New(size, workers, bits int) *Pool {
+	if bits == 0 {
+		bits = pki.DefaultKeyBits
+	}
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	p := &Pool{
+		bits:     bits,
+		keys:     make(chan *rsa.PrivateKey, size),
+		done:     make(chan struct{}),
+		low:      size / 2,
+		wake:     make(chan struct{}, 1),
+		generate: pki.GenerateKey,
+	}
+	p.wake <- struct{}{} // initial fill
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go p.fill()
+	}
+	return p
+}
+
+// fill is one background worker: sleep until woken by low stock, then
+// batch-refill the buffer to full. Checking fullness before generating —
+// not parking on a full channel send — is what makes the hysteresis real:
+// a worker blocked on send would top the pool back up after every single
+// Get, generating concurrently with the request burst it is supposed to
+// be absorbing.
+func (p *Pool) fill() {
+	defer p.workers.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.wake:
+		}
+		for len(p.keys) < cap(p.keys) {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			key, err := p.generate(p.bits)
+			if err != nil {
+				// Generation only fails on entropy exhaustion or a bogus
+				// bit size; parking the worker is safer than spinning.
+				return
+			}
+			p.generated.Add(1)
+			select {
+			case p.keys <- key:
+			case <-p.done:
+				return
+			}
+		}
+	}
+}
+
+// Bits reports the key size the pool stocks.
+func (p *Pool) Bits() int {
+	if p == nil {
+		return 0
+	}
+	return p.bits
+}
+
+// Get returns a key of the requested bit size. bits == 0 selects
+// pki.DefaultKeyBits. A pooled key is served only when its size matches
+// the request exactly; otherwise — wrong size, drained buffer, nil or
+// closed pool — Get generates synchronously, honoring ctx (and Close)
+// during the fallback.
+func (p *Pool) Get(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
+	if bits == 0 {
+		bits = pki.DefaultKeyBits
+	}
+	if p != nil && bits == p.bits {
+		select {
+		case key := <-p.keys:
+			p.hits.Add(1)
+			if len(p.keys) <= p.low {
+				p.signalRefill()
+			}
+			return key, nil
+		default:
+		}
+		p.misses.Add(1)
+		p.signalRefill()
+	}
+	return p.generateSync(ctx, bits)
+}
+
+// signalRefill wakes a sleeping worker; the 1-slot buffer coalesces
+// signals so a burst of Gets costs one token.
+func (p *Pool) signalRefill() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// generateSync is the fallback path: generation runs in its own goroutine
+// so a context cancellation (or pool Close) unblocks the caller
+// immediately rather than after the current key search completes.
+func (p *Pool) generateSync(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
+	gen := pki.GenerateKey
+	var done chan struct{}
+	if p != nil {
+		gen = p.generate
+		done = p.done
+		select {
+		case <-done:
+			// Already closed before this Get started: the pool is just
+			// bypassed, not an error — plain synchronous fallback.
+			done = nil
+		default:
+		}
+	}
+	type result struct {
+		key *rsa.PrivateKey
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		key, err := gen(bits)
+		ch <- result{key, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.key, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-done:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the workers and unblocks any Get waiting in fallback
+// generation (they return ErrClosed). Close is idempotent. Keys still
+// warm in the buffer remain servable — they are unused randomness, no
+// different from a key generated after Close — and later Gets simply fall
+// back to synchronous generation once the buffer drains.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.done) })
+	p.workers.Wait()
+}
+
+// Stats is a point-in-time snapshot of pool effectiveness.
+type Stats struct {
+	// Hits counts Gets served from the warm buffer.
+	Hits int64
+	// Misses counts Gets that found the buffer drained (wrong-size
+	// requests are not counted — the pool never stocked them).
+	Misses int64
+	// Generated counts keys produced by the background workers.
+	Generated int64
+	// Ready is the current number of warm keys.
+	Ready int
+}
+
+// Snapshot reports pool effectiveness counters.
+func (p *Pool) Snapshot() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Generated: p.generated.Load(),
+		Ready:     len(p.keys),
+	}
+}

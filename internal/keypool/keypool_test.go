@@ -1,0 +1,281 @@
+package keypool
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testBits is deliberately below pki.GenerateKey's floor: tests that reach
+// the real generator must use realBits, and 512-bit tests prove the pool
+// respects whatever size its (injected) generator produces.
+const (
+	testBits = 512
+	realBits = 1024
+)
+
+// rawGen generates without pki's production minimum, keeping the
+// injected-generator tests fast.
+func rawGen(bits int) (*rsa.PrivateKey, error) {
+	return rsa.GenerateKey(rand.Reader, bits)
+}
+
+// newTestPool builds a pool whose generator is instrumented, without
+// starting background workers (workers would race the counters the tests
+// assert on). Keys are seeded directly into the buffer where needed.
+func newTestPool(t *testing.T, size int, gen func(bits int) (*rsa.PrivateKey, error)) *Pool {
+	t.Helper()
+	p := &Pool{
+		bits:     testBits,
+		keys:     make(chan *rsa.PrivateKey, size),
+		done:     make(chan struct{}),
+		low:      size / 2,
+		wake:     make(chan struct{}, 1),
+		generate: gen,
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func mustKey(t *testing.T, bits int) *rsa.PrivateKey {
+	t.Helper()
+	key, err := rawGen(bits)
+	if err != nil {
+		t.Fatalf("GenerateKey(%d): %v", bits, err)
+	}
+	return key
+}
+
+func TestGetServesPooledKey(t *testing.T) {
+	p := newTestPool(t, 1, func(bits int) (*rsa.PrivateKey, error) {
+		t.Fatal("fallback generator called with a warm pool")
+		return nil, nil
+	})
+	want := mustKey(t, testBits)
+	p.keys <- want
+
+	got, err := p.Get(context.Background(), testBits)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	//myproxy:allow consttime pointer identity of a test fixture, not key-content comparison
+	if got != want {
+		t.Fatal("Get did not serve the pooled key")
+	}
+	if s := p.Snapshot(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 0 misses", s)
+	}
+}
+
+func TestDrainedPoolFallsBackSynchronously(t *testing.T) {
+	var calls int
+	p := newTestPool(t, 1, func(bits int) (*rsa.PrivateKey, error) {
+		calls++
+		return rawGen(bits)
+	})
+
+	key, err := p.Get(context.Background(), testBits)
+	if err != nil {
+		t.Fatalf("Get on drained pool: %v", err)
+	}
+	if key == nil || key.N.BitLen() != testBits {
+		t.Fatalf("fallback key has %d bits, want %d", key.N.BitLen(), testBits)
+	}
+	if calls != 1 {
+		t.Fatalf("fallback generator called %d times, want 1", calls)
+	}
+	if s := p.Snapshot(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 0 hits, 1 miss", s)
+	}
+}
+
+func TestBitSizeMismatchNeverServesWrongSizeKey(t *testing.T) {
+	p := newTestPool(t, 1, rawGen)
+	p.keys <- mustKey(t, testBits)
+
+	const otherBits = 768
+	key, err := p.Get(context.Background(), otherBits)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", otherBits, err)
+	}
+	if key.N.BitLen() != otherBits {
+		t.Fatalf("got %d-bit key for a %d-bit request", key.N.BitLen(), otherBits)
+	}
+	// The pooled key must still be there: a mismatch bypasses the buffer
+	// entirely rather than discarding stock.
+	if s := p.Snapshot(); s.Ready != 1 {
+		t.Fatalf("pool stock = %d after mismatched Get, want 1", s.Ready)
+	}
+	// And a mismatch is not a miss — the pool never stocked that size.
+	if s := p.Snapshot(); s.Misses != 0 {
+		t.Fatalf("misses = %d after mismatched Get, want 0", s.Misses)
+	}
+}
+
+func TestCloseUnblocksWaitingGets(t *testing.T) {
+	block := make(chan struct{})
+	p := newTestPool(t, 1, func(bits int) (*rsa.PrivateKey, error) {
+		<-block // a fallback generation that never finishes on its own
+		return rawGen(bits)
+	})
+	defer close(block)
+
+	errs := make(chan error, 3)
+	var started sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			_, err := p.Get(context.Background(), testBits)
+			errs <- err
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the Gets park in fallback select
+	p.Close()
+
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("Get after Close = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Get did not unblock after Close")
+		}
+	}
+}
+
+func TestGetAfterCloseFallsBackSynchronously(t *testing.T) {
+	p := newTestPool(t, 1, rawGen)
+	p.Close()
+
+	// A Get issued after Close must not error: the pool is bypassed and the
+	// caller still gets a key (the pool is an accelerator, not a
+	// correctness dependency).
+	key, err := p.Get(context.Background(), testBits)
+	if err != nil {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if key.N.BitLen() != testBits {
+		t.Fatalf("got %d-bit key, want %d", key.N.BitLen(), testBits)
+	}
+}
+
+func TestContextCancellationDuringFallback(t *testing.T) {
+	block := make(chan struct{})
+	p := newTestPool(t, 1, func(bits int) (*rsa.PrivateKey, error) {
+		<-block
+		return rawGen(bits)
+	})
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx, testBits)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Get under cancelled ctx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get did not unblock on context cancellation")
+	}
+}
+
+func TestNilPoolAlwaysFallsBack(t *testing.T) {
+	var p *Pool
+	key, err := p.Get(context.Background(), realBits)
+	if err != nil {
+		t.Fatalf("nil pool Get: %v", err)
+	}
+	if key.N.BitLen() != realBits {
+		t.Fatalf("got %d-bit key, want %d", key.N.BitLen(), realBits)
+	}
+	if p.Bits() != 0 {
+		t.Fatalf("nil pool Bits = %d, want 0", p.Bits())
+	}
+	if s := p.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil pool stats = %+v, want zero", s)
+	}
+	p.Close() // must not panic
+}
+
+func TestBackgroundWorkersWarmThePool(t *testing.T) {
+	p := New(4, 2, realBits)
+	defer p.Close()
+
+	deadline := time.After(30 * time.Second)
+	for p.Snapshot().Ready < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool never filled: %+v", p.Snapshot())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	key, err := p.Get(context.Background(), realBits)
+	if err != nil {
+		t.Fatalf("Get from warm pool: %v", err)
+	}
+	if key.N.BitLen() != realBits {
+		t.Fatalf("got %d-bit key, want %d", key.N.BitLen(), realBits)
+	}
+	if s := p.Snapshot(); s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit", s)
+	}
+}
+
+// TestRefillHysteresis proves workers stay asleep while stock is above the
+// low-water mark and batch-refill once it drops to it — the property that
+// keeps background generation off the CPU during a request burst.
+func TestRefillHysteresis(t *testing.T) {
+	p := newTestPool(t, 4, rawGen) // low water = 2
+	p.workers.Add(1)
+	go p.fill()
+	p.wake <- struct{}{} // initial fill
+
+	waitFor := func(cond func(Stats) bool, what string) {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for !cond(p.Snapshot()) {
+			select {
+			case <-deadline:
+				t.Fatalf("%s: %+v", what, p.Snapshot())
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	waitFor(func(s Stats) bool { return s.Ready == 4 }, "initial fill never completed")
+
+	// One Get leaves stock at 3 — above low water: no refill may happen.
+	if _, err := p.Get(context.Background(), testBits); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if s := p.Snapshot(); s.Generated != 4 || s.Ready != 3 {
+		t.Fatalf("worker refilled above low water: %+v", s)
+	}
+
+	// A second Get drops stock to low water: the worker must top it back
+	// up to full.
+	if _, err := p.Get(context.Background(), testBits); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	waitFor(func(s Stats) bool { return s.Ready == 4 }, "worker never refilled at low water")
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	p := New(1, 1, realBits)
+	p.Close()
+	p.Close()
+}

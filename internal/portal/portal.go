@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +47,10 @@ type Config struct {
 	ProxyLifetime time.Duration
 	// KeyBits sizes delegation keys (0 = pki.DefaultKeyBits).
 	KeyBits int
+	// KeySource, when non-nil, supplies pre-generated delegation key pairs
+	// (typically a keypool.Pool sized by the -keypool flag), taking RSA
+	// generation off the login path. nil generates synchronously.
+	KeySource proxy.KeySource
 	// Logger receives audit lines; nil disables logging.
 	Logger *log.Logger
 	// Now is the clock (tests).
@@ -57,6 +62,13 @@ type Portal struct {
 	cfg      Config
 	sessions *Sessions
 	mux      *http.ServeMux
+
+	// clients memoizes one core.Client per repository address so the TLS
+	// session cache and chain-verification cache inside each client survive
+	// across logins — repeat logins resume the GSI channel instead of
+	// paying a full handshake (DESIGN.md §9).
+	clientsMu sync.Mutex
+	clients   map[string]*core.Client
 }
 
 // New builds the portal.
@@ -71,6 +83,7 @@ func New(cfg Config) (*Portal, error) {
 		cfg:      cfg,
 		sessions: NewSessions(cfg.SessionLifetime, cfg.Now),
 		mux:      http.NewServeMux(),
+		clients:  make(map[string]*core.Client),
 	}
 	p.routes()
 	return p, nil
@@ -112,6 +125,27 @@ func (p *Portal) now() time.Time {
 		return p.cfg.Now()
 	}
 	return time.Now()
+}
+
+// repoClient returns the memoized core.Client for repoAddr, creating it on
+// first use. Reusing the client is what lets its TLS session cache and
+// verification cache pay off on the second and later logins.
+func (p *Portal) repoClient(repoAddr string) *core.Client {
+	p.clientsMu.Lock()
+	defer p.clientsMu.Unlock()
+	if c, ok := p.clients[repoAddr]; ok {
+		return c
+	}
+	c := &core.Client{
+		Credential:     p.cfg.Credential,
+		Roots:          p.cfg.Roots,
+		Addr:           repoAddr,
+		ExpectedServer: p.cfg.ExpectedMyProxy,
+		KeyBits:        p.cfg.KeyBits,
+		KeySource:      p.cfg.KeySource,
+	}
+	p.clients[repoAddr] = c
+	return c
 }
 
 const sessionCookie = "portal_session"
@@ -215,13 +249,7 @@ func (p *Portal) handleLogin(w http.ResponseWriter, r *http.Request) {
 			repoAddr = alt
 		}
 	}
-	client := &core.Client{
-		Credential:     p.cfg.Credential,
-		Roots:          p.cfg.Roots,
-		Addr:           repoAddr,
-		ExpectedServer: p.cfg.ExpectedMyProxy,
-		KeyBits:        p.cfg.KeyBits,
-	}
+	client := p.repoClient(repoAddr)
 	cred, err := client.Get(r.Context(), core.GetOptions{
 		Username:   username,
 		Passphrase: passphrase,

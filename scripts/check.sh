@@ -14,6 +14,9 @@ go run ./cmd/myproxy-vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== go test -race ./internal/keypool ./internal/gsi ./internal/core (hot-path concurrency)"
+go test -race -count=1 ./internal/keypool ./internal/gsi ./internal/core
+
 echo "== go test -race ./..."
 go test -race ./...
 
