@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-hotpath check bench clean
+.PHONY: all build vet vet-self lint test race race-hotpath check bench clean
 
 all: build
 
@@ -15,10 +15,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md "Static-analysis gate"); it exits nonzero on any finding not
-# covered by a //myproxy:allow pragma.
+# DESIGN.md "Static-analysis gate" + "CFG/dataflow engine") — the five
+# syntactic passes plus the flow-sensitive connleak, zeroize, ctxdeadline
+# and deferclose passes; it exits nonzero on any finding not covered by a
+# //myproxy:allow pragma.
 lint:
 	$(GO) run ./cmd/myproxy-vet ./...
+
+# vet-self is the fast loop when developing an analyzer pass: the CFG unit
+# tests and the golden fixtures only, no repo-wide load.
+vet-self:
+	$(GO) test ./internal/analysis -run 'TestCFG|TestGolden|TestPragmaScoping'
 
 test:
 	$(GO) test ./...

@@ -461,6 +461,9 @@ func BenchmarkWireDelegation(b *testing.B) {
 			return
 		}
 		conn, err := gsi.Server(raw, d.Portals[0], opts)
+		if err != nil {
+			_ = raw.Close() // gsi.Server leaves raw open on handshake failure
+		}
 		ch <- pair{conn, err}
 	}()
 	cli, err := gsi.Dial(context.Background(), "tcp", ln.Addr().String(), d.Users[0], opts)

@@ -6,20 +6,29 @@
 //
 // Usage:
 //
-//	myproxy-vet [-json] [patterns ...]
+//	myproxy-vet [-json] [-baseline file] [patterns ...]
 //
 // Patterns default to ./.... Exit status is 0 when clean, 1 when findings
 // were reported, 2 on load or usage errors. Findings are suppressed at a
 // specific site with //myproxy:allow <pass> <reason>; see DESIGN.md
 // ("Static-analysis gate").
+//
+// For adopting a new pass over a codebase with existing findings,
+// -write-baseline records the current findings as "file: pass: message"
+// keys (no line numbers, so unrelated edits do not churn the file) and
+// -baseline filters any finding whose key appears in such a file: only
+// NEW findings fail the gate while the recorded debt is burned down.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -27,8 +36,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	listPasses := flag.Bool("passes", false, "list the registered passes and exit")
+	baselineFile := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to a baseline file and exit clean")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json] [patterns ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json] [-baseline file | -write-baseline file] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +66,33 @@ func main() {
 		rep.Findings[i].File = relativize(cwd, rep.Findings[i].File)
 	}
 
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, rep.Findings); err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "myproxy-vet: recorded %d finding(s) in %s\n", len(rep.Findings), *writeBaseline)
+		return
+	}
+
+	baselined := 0
+	if *baselineFile != "" {
+		known, err := loadBaseline(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
+		}
+		kept := rep.Findings[:0]
+		for _, d := range rep.Findings {
+			if known[baselineKey(d)] {
+				baselined++
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		rep.Findings = kept
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -73,14 +111,66 @@ func main() {
 		for _, d := range rep.Findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Pass, d.Message)
 		}
-		if len(rep.Findings) > 0 {
-			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma\n",
-				len(rep.Findings), len(rep.Suppressed))
+		if len(rep.Findings) > 0 || baselined > 0 {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma, %d baselined\n",
+				len(rep.Findings), len(rep.Suppressed), baselined)
 		}
 	}
 	if len(rep.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// baselineKey identifies a finding across edits: file, pass, and message,
+// but no line/column, so moving code does not churn the baseline.
+func baselineKey(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", filepath.ToSlash(d.File), d.Pass, d.Message)
+}
+
+// saveBaseline writes the findings' keys, sorted and deduplicated, with a
+// small header documenting the format.
+func saveBaseline(path string, ds []analysis.Diagnostic) error {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, d := range ds {
+		k := baselineKey(d)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# myproxy-vet baseline: known findings tolerated by -baseline.\n")
+	b.WriteString("# One \"file: pass: message\" key per line; '#' starts a comment.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// loadBaseline reads a baseline file into a key set.
+func loadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		known[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return known, f.Close()
 }
 
 // relativize shortens abs to a cwd-relative path when that is tidier.

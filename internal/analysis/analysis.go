@@ -85,6 +85,25 @@ type Context struct {
 	// ("path/to/pkg.TypeName") to the reason they are secret-labelled
 	// (the //myproxy:secret marker, see secret.go).
 	SecretTypes map[string]string
+	// Summaries holds the per-function call summaries the dataflow passes
+	// consult to see one hop across a call (see summary.go).
+	Summaries summaryTable
+	// cfgs memoizes control-flow graphs by function body, shared between
+	// the summary computation and the dataflow passes.
+	cfgs map[*ast.BlockStmt]*CFG
+}
+
+// cfgOf builds (or returns the memoized) CFG for a function body.
+func (ctx *Context) cfgOf(pkg *Package, name string, body *ast.BlockStmt) *CFG {
+	if ctx.cfgs == nil {
+		ctx.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	if c, ok := ctx.cfgs[body]; ok {
+		return c
+	}
+	c := buildCFG(pkg, name, body)
+	ctx.cfgs[body] = c
+	return c
 }
 
 // diag is a small helper for passes.

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DeferClose flags `defer f.Close()` on write handles. For a file opened
+// for writing, Close is where buffered data and delayed write errors
+// surface: a deferred, unchecked Close turns a failed credential store into
+// a silent success — precisely the failure filestore's fsync+rename
+// protocol exists to prevent. Read-only handles are exempt (their close
+// error is uninteresting), as is the backstop idiom where the function also
+// closes explicitly and checks the error (the defer then only covers early
+// error returns, where a close failure changes nothing).
+var DeferClose = &Pass{
+	Name: "deferclose",
+	Doc:  "defer Close discards the close error of a write handle",
+	Run:  runDeferClose,
+}
+
+func runDeferClose(ctx *Context, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	funcBodies(pkg, func(name string, body *ast.BlockStmt) {
+		cfg := ctx.cfgOf(pkg, name, body)
+		runFlow(pkg, cfg, nil, flowHooks{
+			transfer: func(n ast.Node, fs factSet) {
+				deferCloseTransfer(ctx, pkg, n, fs)
+			},
+			report: func(n ast.Node, fs factSet) {
+				def, ok := n.(*ast.DeferStmt)
+				if !ok {
+					return
+				}
+				obj := closeReceiver(pkg, def.Call)
+				if obj == nil {
+					return
+				}
+				f, tracked := fs[obj]
+				if !tracked || hasCheckedClose(pkg, body, obj) {
+					return
+				}
+				diags = append(diags, pkg.diag("deferclose", def.Pos(),
+					"defer %s.Close() discards the close error of %s (write handle); a dropped close error is a dropped commit — close explicitly and check the error",
+					obj.Name(), f.desc))
+			},
+		})
+	})
+	return diags
+}
+
+// hasCheckedClose reports whether the function also closes obj in a way
+// that uses the result — `if err := f.Close(); ...`, `return f.Close()`,
+// `cerr = f.Close()` — making the defer a mere backstop for early returns.
+func hasCheckedClose(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	checked := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if checked {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || closeReceiver(pkg, call) != obj {
+			return true
+		}
+		if len(stack) >= 2 {
+			switch stack[len(stack)-2].(type) {
+			case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+				return true // result unused
+			}
+		}
+		checked = true
+		return false
+	})
+	return checked
+}
+
+func deferCloseTransfer(ctx *Context, pkg *Package, n ast.Node, fs factSet) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		deferCloseAssign(ctx, pkg, n, fs)
+	case *ast.DeferStmt, *ast.GoStmt:
+		for obj := range fs {
+			if mentionsObj(pkg, n, obj) {
+				delete(fs, obj)
+			}
+		}
+	case *ast.ReturnStmt:
+		for obj := range fs {
+			delete(fs, obj)
+		}
+	default:
+		deferCloseCalls(pkg, n, fs)
+		killEscapedMentions(pkg, n, fs, nil)
+	}
+}
+
+// deferCloseCalls: an explicit Close (checked or not — the explicit form is
+// visible in review, the deferred one is what this pass is about) kills the
+// obligation, and so does any other call boundary crossing.
+func deferCloseCalls(pkg *Package, n ast.Node, fs factSet) {
+	applyCalls(pkg, n, func(call *ast.CallExpr) {
+		if obj := closeReceiver(pkg, call); obj != nil {
+			delete(fs, obj)
+			return
+		}
+		for _, arg := range call.Args {
+			if obj := identObj(pkg, arg); obj != nil {
+				delete(fs, obj)
+			}
+		}
+	})
+}
+
+func deferCloseAssign(ctx *Context, pkg *Package, as *ast.AssignStmt, fs factSet) {
+	lhs := make([]types.Object, len(as.Lhs))
+	for i, l := range as.Lhs {
+		lhs[i] = assignedObj(pkg, l)
+	}
+	errObj := pairedErr(lhs)
+
+	var genCall *ast.CallExpr
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			genCall = call
+		}
+	}
+	deferCloseCalls(pkg, as, fs)
+	killEscapedMentions(pkg, as, fs, nil)
+	invalidateAssigned(fs, lhs)
+
+	if genCall == nil {
+		return
+	}
+	if _, writable := acquirerCall(pkg, ctx.Summaries, genCall); !writable {
+		return
+	}
+	fn := calleeFunc(pkg, genCall)
+	for _, o := range lhs {
+		if o != nil && isCloserType(o.Type()) {
+			fs[o] = fact{acquired: as.Pos(),
+				desc: "the " + shortCallee(fn) + " handle opened at line " +
+					strconv.Itoa(pkg.Fset.Position(as.Pos()).Line),
+				err: errObj, errLive: errIsNil}
+		}
+	}
+}

@@ -2,8 +2,11 @@ package analysis
 
 import "sort"
 
-// Passes is the full analyzer suite, in documentation order.
-var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap}
+// Passes is the full analyzer suite, in documentation order: the syntactic
+// passes first, then the flow-sensitive ones built on the CFG/dataflow
+// engine.
+var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap,
+	ConnLeak, Zeroize, CtxDeadline, DeferClose}
 
 // Report is the outcome of one analyzer run.
 type Report struct {
@@ -28,6 +31,7 @@ func Run(patterns []string, passes []*Pass) (*Report, error) {
 // RunPackages executes the passes over already-loaded packages.
 func RunPackages(pkgs []*Package, passes []*Pass) *Report {
 	ctx := &Context{SecretTypes: collectSecretTypes(pkgs)}
+	ctx.Summaries = buildSummaries(ctx, pkgs)
 	known := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		known[p.Name] = true

@@ -14,7 +14,10 @@ var update = flag.Bool("update", false, "rewrite the golden expect.txt files")
 // fixtures lists one fixture package per pass, plus the pragma-handling
 // fixture. Each directory holds an expect.txt golden with the unsuppressed
 // findings in "file:line:col: pass: message" form.
-var fixtures = []string{"weakrand", "secretflow", "consttime", "rawverify", "errwrap", "pragma"}
+var fixtures = []string{
+	"weakrand", "secretflow", "consttime", "rawverify", "errwrap", "pragma",
+	"connleak", "zeroize", "ctxdeadline", "deferclose",
+}
 
 func TestGolden(t *testing.T) {
 	for _, name := range fixtures {

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,9 +12,11 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -20,13 +24,21 @@ import (
 // The loader resolves package patterns ("./...", "repro/internal/otp",
 // plain directories, including testdata fixtures named explicitly) into
 // fully type-checked Packages without golang.org/x/tools. The trick is to
-// let the go tool do the heavy lifting: `go list -export -deps -test`
-// compiles every dependency and reports the compiler's export-data file for
-// each, which the stdlib gc importer can consume through its lookup hook.
-// Our own sources are then parsed and type-checked from source against
-// those exports, which keeps the analysis aware of full type information
-// (needed for secret-type labelling, method receivers, error interfaces)
-// while staying entirely on the standard library.
+// let the go tool do the heavy lifting: one `go list -export -deps -test`
+// call compiles every dependency and reports, for each package in the
+// closure, both its source layout and the compiler's export-data file,
+// which the stdlib gc importer can consume through its lookup hook. Our own
+// sources are then parsed and type-checked from source against those
+// exports, which keeps the analysis aware of full type information (needed
+// for secret-type labelling, method receivers, error interfaces) while
+// staying entirely on the standard library.
+//
+// Because the go list call dominates the run time (it compiles the
+// dependency closure), its output is cached on disk keyed by everything
+// that could change it: go version, working directory, patterns, go.mod,
+// and the (path, size, mtime) of every .go file under the module root. A
+// hit is trusted only after verifying the export-data files it references
+// still exist (the build cache may have been pruned).
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
@@ -37,7 +49,17 @@ type listedPackage struct {
 	TestGoFiles []string
 	// XTestGoFiles are the files of the external "_test" package.
 	XTestGoFiles []string
+	// Export is the compiled export-data file (-export).
+	Export string
+	// DepOnly marks packages that are in the closure only as dependencies,
+	// not as pattern matches (-deps).
+	DepOnly bool
+	// ForTest names the package under test for test variants (-test).
+	ForTest string
 }
+
+// listFields keeps the JSON decode (and the cache) small.
+const listFields = "Dir,ImportPath,Name,GoFiles,TestGoFiles,XTestGoFiles,Export,DepOnly,ForTest"
 
 // Load resolves patterns and returns one Package per compiled unit: the
 // package itself (with in-package test files folded in, as the compiler's
@@ -46,14 +68,11 @@ func Load(patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(patterns)
+	all, err := goListAll(patterns)
 	if err != nil {
 		return nil, err
 	}
-	exports, err := goListExports(patterns)
-	if err != nil {
-		return nil, err
-	}
+	listed, exports := splitListing(all)
 
 	fset := token.NewFileSet()
 	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -152,12 +171,32 @@ func (o *overrideImporter) Import(path string) (*types.Package, error) {
 	return o.base.Import(path)
 }
 
-// goList runs `go list -json` on the patterns.
-func goList(patterns []string) ([]listedPackage, error) {
-	out, err := runGo(append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...))
+// goListAll runs the single merged `go list -export -deps -test -json` call
+// (or returns its cached output) covering both jobs the loader has: finding
+// the root packages to analyze and mapping the dependency closure to export
+// data.
+func goListAll(patterns []string) ([]listedPackage, error) {
+	key, keyed := listCacheKey(patterns)
+	if keyed {
+		if all, hit := readListCache(key); hit {
+			return all, nil
+		}
+	}
+	out, err := runGo(append([]string{"list", "-export", "-deps", "-test", "-json=" + listFields}, patterns...))
 	if err != nil {
 		return nil, err
 	}
+	all, err := decodeListing(out)
+	if err != nil {
+		return nil, err
+	}
+	if keyed {
+		writeListCache(key, out)
+	}
+	return all, nil
+}
+
+func decodeListing(out []byte) ([]listedPackage, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var listed []listedPackage
 	for {
@@ -172,29 +211,152 @@ func goList(patterns []string) ([]listedPackage, error) {
 	return listed, nil
 }
 
-// goListExports maps every import path in the patterns' dependency closure
-// (tests included) to its compiler export-data file, compiling as needed.
-func goListExports(patterns []string) (map[string]string, error) {
-	args := append([]string{"list", "-export", "-deps", "-test", "-f", "{{.ImportPath}}|{{.Export}}"}, patterns...)
-	out, err := runGo(args)
-	if err != nil {
-		return nil, err
-	}
-	exports := make(map[string]string)
-	for _, line := range strings.Split(string(out), "\n") {
-		path, file, ok := strings.Cut(line, "|")
-		if !ok || file == "" {
-			continue
-		}
+// splitListing separates the closure into the root packages to analyze and
+// the export-data map the importer consults.
+func splitListing(all []listedPackage) (roots []listedPackage, exports map[string]string) {
+	exports = make(map[string]string)
+	for _, lp := range all {
 		// Skip test-variant entries like "pkg [pkg.test]": imports of the
 		// plain path must resolve to the plain export; the variant is
 		// reconstructed in memory by Load when needed.
-		if strings.HasSuffix(path, "]") {
+		if strings.HasSuffix(lp.ImportPath, "]") {
 			continue
 		}
-		exports[path] = file
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		// Roots are the pattern matches themselves: not dependency-only, not
+		// a test variant, not a synthesized "pkg.test" binary.
+		if !lp.DepOnly && lp.ForTest == "" && !strings.HasSuffix(lp.ImportPath, ".test") {
+			roots = append(roots, lp)
+		}
 	}
-	return exports, nil
+	return roots, exports
+}
+
+// --- go list disk cache ---
+
+// listCacheKey hashes everything the go list output depends on. The bool is
+// false when a stable key cannot be computed (no module root, unreadable
+// files); the caller then skips the cache entirely.
+func listCacheKey(patterns []string) (string, bool) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	root := moduleRoot(cwd)
+	if root == "" {
+		return "", false
+	}
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, cwd)
+	for _, p := range patterns {
+		fmt.Fprintln(h, p)
+	}
+	h.Write(modData)
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); strings.HasPrefix(name, ".") && path != root {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s %d %d\n", path, info.Size(), info.ModTime().UnixNano())
+		return nil
+	})
+	if err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) string {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func listCachePath(key string) (string, bool) {
+	ucd, err := os.UserCacheDir()
+	if err != nil {
+		return "", false
+	}
+	return filepath.Join(ucd, "myproxy-vet", key+".json"), true
+}
+
+// readListCache returns the decoded cached listing, rejecting hits whose
+// export-data files have been pruned from the build cache.
+func readListCache(key string) ([]listedPackage, bool) {
+	path, ok := listCachePath(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	all, err := decodeListing(data)
+	if err != nil {
+		return nil, false
+	}
+	for _, lp := range all {
+		if lp.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(lp.Export); err != nil {
+			return nil, false
+		}
+	}
+	return all, true
+}
+
+// writeListCache stores the raw go list output; failures are silent (the
+// cache is an optimization, never a correctness dependency).
+func writeListCache(key string, out []byte) {
+	path, ok := listCachePath(key)
+	if !ok {
+		return
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "list-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(out)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
 }
 
 func runGo(args []string) ([]byte, error) {

@@ -1,0 +1,104 @@
+// Package connleak exercises the connleak pass: connections that can reach
+// a return (or the end of the function) unclosed, error-branch refinement,
+// defer discharge, escapes, and the one-hop wrapper summary.
+package connleak
+
+import (
+	"errors"
+	"net"
+)
+
+// leakOnValidate: the conn reaches the policy-rejection return unclosed.
+func leakOnValidate(addr string, allowed bool) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err // no leak: conn does not exist when the dial failed
+	}
+	if !allowed {
+		return nil, errors.New("peer not allowed") // conn leaks here
+	}
+	return conn, nil
+}
+
+// closedOnAllPaths is clean: the defer covers every path.
+func closedOnAllPaths(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	return err
+}
+
+// framed is a wrapper that owns its conn once construction succeeds — but
+// leaves it with the caller when construction fails.
+type framed struct{ c net.Conn }
+
+func (f *framed) Close() error { return f.c.Close() }
+
+func wrap(c net.Conn, ok bool) (*framed, error) {
+	if !ok {
+		return nil, errors.New("handshake refused") // c stays the caller's
+	}
+	return &framed{c: c}, nil
+}
+
+// leakThroughWrapper: wrap failed, so the raw conn is still ours — and it
+// reaches the error return unclosed. The summary layer carries the
+// obligation through the wrap call.
+func leakThroughWrapper(addr string) (*framed, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	f, err := wrap(raw, false)
+	if err != nil {
+		return nil, err // raw leaks here
+	}
+	return f, nil
+}
+
+// closeOnWrapFailure is the fixed shape.
+func closeOnWrapFailure(addr string) (*framed, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	f, err := wrap(raw, false)
+	if err != nil {
+		_ = raw.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// holder takes ownership: storing the conn discharges the local obligation.
+type holder struct{ c net.Conn }
+
+func store(h *holder, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.c = conn
+	return nil
+}
+
+// acceptLoopLeak: the accepted conn leaks when the handler setup fails.
+func acceptLoopLeak(ln net.Listener, ready bool) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	if !ready {
+		return errors.New("not ready") // conn leaks here
+	}
+	go func() {
+		defer conn.Close()
+		buf := make([]byte, 1)
+		_, _ = conn.Read(buf)
+	}()
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package ctxdeadline exercises the ctxdeadline pass: context-less dials in
+// functions that were handed a context, TLS handshakes reachable with no
+// deadline armed (including through the tls.Client wrap), and the arming /
+// context-threading shapes that stay silent.
+package ctxdeadline
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"time"
+)
+
+// pingIgnoringContext has a context to thread but dials without it.
+func pingIgnoringContext(ctx context.Context, addr string) error {
+	conn, err := net.Dial("tcp", addr) // ignores ctx
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	return nil
+}
+
+// handshakeUnbounded: the handshake runs on a conn that never got a
+// deadline; a stalled peer pins this goroutine forever. The unarmed fact
+// flows through the tls.Client wrap.
+func handshakeUnbounded(addr string, cfg *tls.Config) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	tc := tls.Client(raw, cfg)
+	if err := tc.Handshake(); err != nil { // no deadline armed
+		_ = tc.Close()
+		return err
+	}
+	return tc.Close()
+}
+
+// handshakeArmed bounds the handshake by arming the raw conn first.
+func handshakeArmed(addr string, cfg *tls.Config) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := raw.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		_ = raw.Close()
+		return err
+	}
+	tc := tls.Client(raw, cfg)
+	if err := tc.Handshake(); err != nil {
+		_ = tc.Close()
+		return err
+	}
+	return tc.Close()
+}
+
+// dialWithContext threads the context through a context-aware dial: the
+// caller chose its bounding strategy, so nothing fires.
+func dialWithContext(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return nil
+}
+
+// probe has no context parameter and DialTimeout carries its own bound.
+func probe(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package deferclose exercises the deferclose pass: deferred unchecked
+// Close on write handles (where the close error is the commit result),
+// the checked-close backstop exemption, and read-only handles, which are
+// exempt — including os.OpenFile with constant read-only flags.
+package deferclose
+
+import (
+	"io"
+	"os"
+)
+
+// writeBlob: the deferred Close swallows the write-commit error — a failed
+// flush reports success to the caller.
+func writeBlob(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // discards the close error
+	_, err = f.Write(data)
+	return err
+}
+
+// writeChecked: the defer is only a backstop for early error returns; the
+// explicit Close at the end is checked.
+func writeChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readAll: read handles are exempt; their close error changes nothing.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// appendAudit: OpenFile with O_WRONLY in its constant flags is a write
+// handle like os.Create.
+func appendAudit(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // discards the close error
+	_, err = f.Write(line)
+	return err
+}
+
+// readOnlyFlags: constant-evaluated O_RDONLY flags make this a read handle.
+func readOnlyFlags(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}

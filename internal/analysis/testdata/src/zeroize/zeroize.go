@@ -1,0 +1,96 @@
+// Package zeroize exercises the zeroize pass: secret byte buffers (from
+// //myproxy:secret-marked producers or the x509 key marshalers) that can go
+// out of scope without being wiped, plus the three discharge forms — a wipe
+// call, an inline zeroing loop, and returning the buffer to the caller.
+package zeroize
+
+import (
+	"crypto/aes"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"io"
+)
+
+// deriveKey stretches a pass phrase into a cipher key. The returned bytes
+// are key material: callers must wipe them once the cipher is keyed.
+//
+//myproxy:secret
+func deriveKey(passphrase []byte) []byte {
+	sum := sha256.Sum256(passphrase)
+	return sum[:]
+}
+
+// wipe zeroes b in place (recognized by the summary layer).
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// sealLeaky keys the cipher but never wipes the derived key; passing key to
+// aes.NewCipher does not discharge the obligation.
+func sealLeaky(passphrase, plaintext []byte) ([]byte, error) {
+	key := deriveKey(passphrase)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err // key leaks on this path (and the one below)
+	}
+	out := make([]byte, len(plaintext))
+	block.Encrypt(out, plaintext)
+	return out, nil
+}
+
+// sealWiped is the fixed shape: the deferred wipe covers every exit.
+func sealWiped(passphrase, plaintext []byte) ([]byte, error) {
+	key := deriveKey(passphrase)
+	defer wipe(key)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(plaintext))
+	block.Encrypt(out, plaintext)
+	return out, nil
+}
+
+// sealInline discharges with an inline zeroing loop after the last use.
+func sealInline(passphrase, plaintext []byte) ([]byte, error) {
+	key := deriveKey(passphrase)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		wipe(key)
+		return nil, err
+	}
+	out := make([]byte, len(plaintext))
+	block.Encrypt(out, plaintext)
+	for i := range key {
+		key[i] = 0
+	}
+	return out, nil
+}
+
+// marshalLeaky writes the DER key encoding out but leaves the plaintext
+// bytes live; x509.MarshalPKCS1PrivateKey is a seeded secret producer.
+func marshalLeaky(k *rsa.PrivateKey, w io.Writer) error {
+	der := x509.MarshalPKCS1PrivateKey(k)
+	_, err := w.Write(der)
+	return err // der leaks here
+}
+
+// marshalWiped is the fixed shape.
+func marshalWiped(k *rsa.PrivateKey, w io.Writer) error {
+	der := x509.MarshalPKCS1PrivateKey(k)
+	_, err := w.Write(der)
+	wipe(der)
+	return err
+}
+
+// marshalForward returns the buffer: the caller inherits the obligation, so
+// the marker propagates instead of a finding firing here.
+//
+//myproxy:secret
+func marshalForward(k *rsa.PrivateKey) []byte {
+	der := x509.MarshalPKCS1PrivateKey(k)
+	return der
+}

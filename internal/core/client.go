@@ -166,6 +166,9 @@ func (c *Client) connect(ctx context.Context) (*clientConn, error) {
 	}
 	conn, err := gsi.Client(raw, c.Credential, opts)
 	if err != nil {
+		// gsi.Client leaves the raw conn open when the handshake fails;
+		// it is still ours to close (double-close on a net.Conn is safe).
+		_ = raw.Close()
 		return nil, err
 	}
 	// The whole operation — not just the dial — respects the context: the
@@ -484,7 +487,9 @@ func (c *Client) Store(ctx context.Context, opts StoreOptions) error {
 	if opts.Credential == nil {
 		return errors.New("core: Store requires a credential")
 	}
-	blob, err := pki.SealBytes(opts.Credential.EncodePEM(), []byte(opts.Passphrase), 0)
+	plainPEM := opts.Credential.EncodePEM()
+	blob, err := pki.SealBytes(plainPEM, []byte(opts.Passphrase), 0)
+	pki.WipeBytes(plainPEM) // sealed; drop the plaintext encoding
 	if err != nil {
 		return err
 	}
@@ -570,6 +575,7 @@ func (c *Client) retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Crede
 			return resilience.Permanent(err)
 		}
 		cred, err = pki.DecodeCredentialPEM(plain, nil)
+		pki.WipeBytes(plain) // decoded into cred; drop the plaintext PEM
 		if err != nil {
 			return resilience.Permanent(err)
 		}

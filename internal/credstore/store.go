@@ -148,7 +148,9 @@ func (e *Entry) CheckPassphrase(passphrase []byte) error {
 		return errors.New("credstore: entry has no pass phrase verifier")
 	}
 	got := kdf.SHA256Key(passphrase, e.VerifierSalt, e.VerifierIter, 32)
-	if !hmac.Equal(got, e.Verifier) {
+	ok := hmac.Equal(got, e.Verifier)
+	pki.WipeBytes(got) // the derived verifier is pass-phrase-equivalent
+	if !ok {
 		return ErrBadPassphrase
 	}
 	return nil

@@ -31,6 +31,12 @@ func connectPair(t *testing.T, clientCred, serverCred *pki.Credential, clientOpt
 	// tls.Conn.Close blocks up to 5s writing close_notify into the
 	// synchronous pipe when the peer is not reading.
 	t.Cleanup(func() { cliRaw.Close(); srvRaw.Close() })
+	// Bound every exchange over the synchronous pipe: a handshake or
+	// delegation bug then fails within seconds instead of hanging the
+	// test binary until the go test timeout.
+	dl := time.Now().Add(30 * time.Second)
+	_ = cliRaw.SetDeadline(dl)
+	_ = srvRaw.SetDeadline(dl)
 	type res struct {
 		conn *Conn
 		err  error
@@ -305,6 +311,7 @@ func TestDialOverTCP(t *testing.T) {
 		}
 		conn, err := Server(raw, server, defaultOpts(t))
 		if err != nil {
+			_ = raw.Close() // Server leaves raw open on handshake failure
 			done <- err
 			return
 		}

@@ -50,6 +50,9 @@ func dialOnce(t *testing.T, ln net.Listener, user, server *pki.Credential, cliOp
 			return
 		}
 		c, err := Server(raw, server, srvOpts)
+		if err != nil {
+			_ = raw.Close() // Server leaves raw open on handshake failure
+		}
 		srvCh <- res{c, err}
 	}()
 	raw, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
@@ -57,6 +60,9 @@ func dialOnce(t *testing.T, ln net.Listener, user, server *pki.Credential, cliOp
 		t.Fatalf("dial: %v", err)
 	}
 	cli, cliErr = Client(raw, user, cliOpts)
+	if cliErr != nil {
+		_ = raw.Close() // Client leaves raw open on handshake failure
+	}
 	sr := <-srvCh
 	t.Cleanup(func() {
 		if cli != nil {

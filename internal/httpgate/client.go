@@ -185,7 +185,9 @@ func (c *Client) Info(ctx context.Context, username, passphrase string) (*InfoRe
 
 // Store seals the credential client-side and deposits the container.
 func (c *Client) Store(ctx context.Context, req StoreRequest, cred *pki.Credential) error {
-	blob, err := pki.SealBytes(cred.EncodePEM(), []byte(req.Passphrase), 0)
+	plainPEM := cred.EncodePEM()
+	blob, err := pki.SealBytes(plainPEM, []byte(req.Passphrase), 0)
+	pki.WipeBytes(plainPEM) // sealed; drop the plaintext encoding
 	if err != nil {
 		return err
 	}
@@ -205,7 +207,9 @@ func (c *Client) Retrieve(ctx context.Context, req RetrieveRequest) (*pki.Creden
 	if err != nil {
 		return nil, err
 	}
-	return pki.DecodeCredentialPEM(plain, nil)
+	cred, err := pki.DecodeCredentialPEM(plain, nil)
+	pki.WipeBytes(plain) // decoded into cred; drop the plaintext PEM
+	return cred, err
 }
 
 // Destroy removes a stored credential.

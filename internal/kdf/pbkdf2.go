@@ -21,6 +21,11 @@ import (
 // The salt should be random and at least 8 bytes; iter should be large
 // enough that a brute-force attack against a dumped repository is slow
 // (the repository defaults to 64k iterations, see internal/credstore).
+//
+// The result is key material: callers must wipe it (pki.WipeBytes) once the
+// derived key has been used.
+//
+//myproxy:secret
 func Key(password, salt []byte, iter, keyLen int, h func() hash.Hash) []byte {
 	if iter < 1 {
 		panic("kdf: iteration count must be >= 1")
@@ -59,12 +64,16 @@ func Key(password, salt []byte, iter, keyLen int, h func() hash.Hash) []byte {
 }
 
 // SHA256Key derives a key with PBKDF2-HMAC-SHA256, the repository default.
+//
+//myproxy:secret
 func SHA256Key(password, salt []byte, iter, keyLen int) []byte {
 	return Key(password, salt, iter, keyLen, sha256.New)
 }
 
 // SHA1Key derives a key with PBKDF2-HMAC-SHA1. It exists for compatibility
 // testing against the RFC 6070 vectors; new code should use SHA256Key.
+//
+//myproxy:secret
 func SHA1Key(password, salt []byte, iter, keyLen int) []byte {
 	return Key(password, salt, iter, keyLen, sha1.New)
 }

@@ -24,7 +24,7 @@ var rfc6070 = []struct {
 
 func TestSHA1KeyRFC6070(t *testing.T) {
 	for i, tc := range rfc6070 {
-		got := SHA1Key([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen)
+		got := SHA1Key([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen) //myproxy:allow zeroize RFC 6070 vector; the derived key is a public constant
 		if hex.EncodeToString(got) != tc.want {
 			t.Errorf("vector %d: got %x, want %s", i, got, tc.want)
 		}
@@ -49,7 +49,7 @@ var sha256Vectors = []struct {
 
 func TestSHA256KeyVectors(t *testing.T) {
 	for i, tc := range sha256Vectors {
-		got := SHA256Key([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen)
+		got := SHA256Key([]byte(tc.password), []byte(tc.salt), tc.iter, tc.keyLen) //myproxy:allow zeroize published PBKDF2-SHA256 vector; the derived key is a public constant
 		if hex.EncodeToString(got) != tc.want {
 			t.Errorf("vector %d: got %x, want %s", i, got, tc.want)
 		}
@@ -58,7 +58,7 @@ func TestSHA256KeyVectors(t *testing.T) {
 
 func TestKeyLengthExact(t *testing.T) {
 	for _, n := range []int{0, 1, 31, 32, 33, 64, 100} {
-		got := SHA256Key([]byte("pw"), []byte("salt"), 3, n)
+		got := SHA256Key([]byte("pw"), []byte("salt"), 3, n) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
 		if len(got) != n {
 			t.Errorf("keyLen %d: got %d bytes", n, len(got))
 		}
@@ -66,32 +66,32 @@ func TestKeyLengthExact(t *testing.T) {
 }
 
 func TestKeyDeterministic(t *testing.T) {
-	a := SHA256Key([]byte("pw"), []byte("salt"), 100, 32)
-	b := SHA256Key([]byte("pw"), []byte("salt"), 100, 32)
+	a := SHA256Key([]byte("pw"), []byte("salt"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
+	b := SHA256Key([]byte("pw"), []byte("salt"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
 	if !bytes.Equal(a, b) {
 		t.Fatal("same inputs produced different keys")
 	}
 }
 
 func TestKeyPasswordSensitivity(t *testing.T) {
-	a := SHA256Key([]byte("pw1"), []byte("salt"), 100, 32)
-	b := SHA256Key([]byte("pw2"), []byte("salt"), 100, 32)
+	a := SHA256Key([]byte("pw1"), []byte("salt"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
+	b := SHA256Key([]byte("pw2"), []byte("salt"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
 	if bytes.Equal(a, b) {
 		t.Fatal("different passwords produced identical keys")
 	}
 }
 
 func TestKeySaltSensitivity(t *testing.T) {
-	a := SHA256Key([]byte("pw"), []byte("salt1"), 100, 32)
-	b := SHA256Key([]byte("pw"), []byte("salt2"), 100, 32)
+	a := SHA256Key([]byte("pw"), []byte("salt1"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
+	b := SHA256Key([]byte("pw"), []byte("salt2"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
 	if bytes.Equal(a, b) {
 		t.Fatal("different salts produced identical keys")
 	}
 }
 
 func TestKeyIterSensitivity(t *testing.T) {
-	a := SHA256Key([]byte("pw"), []byte("salt"), 100, 32)
-	b := SHA256Key([]byte("pw"), []byte("salt"), 101, 32)
+	a := SHA256Key([]byte("pw"), []byte("salt"), 100, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
+	b := SHA256Key([]byte("pw"), []byte("salt"), 101, 32) //myproxy:allow zeroize fixed test inputs; the derived key is not a real secret
 	if bytes.Equal(a, b) {
 		t.Fatal("different iteration counts produced identical keys")
 	}

@@ -77,7 +77,11 @@ func (c *Credential) Validate(now time.Time) error {
 }
 
 // EncodePEM renders the credential in the Globus proxy-file layout:
-// leaf certificate, private key, then the rest of the chain.
+// leaf certificate, private key, then the rest of the chain. The encoding
+// contains the plaintext private key: callers that do not persist it must
+// WipeBytes it once sealed or written.
+//
+//myproxy:secret
 func (c *Credential) EncodePEM() []byte {
 	out := EncodeCertPEM(c.Certificate)
 	out = append(out, EncodeKeyPEM(c.PrivateKey)...)

@@ -55,6 +55,7 @@ func SealBytes(plaintext, passphrase []byte, iter int) ([]byte, error) {
 		return nil, fmt.Errorf("pki: salt: %w", err)
 	}
 	key := kdf.Key(passphrase, salt, iter, sealKeyLen, sha256.New)
+	defer WipeBytes(key) // the cipher keeps its own schedule; drop ours
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, err
@@ -76,7 +77,11 @@ func SealBytes(plaintext, passphrase []byte, iter int) ([]byte, error) {
 	return out, nil
 }
 
-// OpenBytes decrypts a container produced by SealBytes.
+// OpenBytes decrypts a container produced by SealBytes. The plaintext is
+// key material: the caller inherits the obligation to WipeBytes it once
+// decoded.
+//
+//myproxy:secret
 func OpenBytes(container, passphrase []byte) ([]byte, error) {
 	header := len(sealMagic) + 4 + sealSaltLen + 12
 	if len(container) < header || string(container[:len(sealMagic)]) != sealMagic {
@@ -91,6 +96,7 @@ func OpenBytes(container, passphrase []byte) ([]byte, error) {
 	salt := container[p : p+sealSaltLen]
 	p += sealSaltLen
 	key := kdf.Key(passphrase, salt, iter, sealKeyLen, sha256.New)
+	defer WipeBytes(key) // the cipher keeps its own schedule; drop ours
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, err
@@ -111,7 +117,9 @@ func OpenBytes(container, passphrase []byte) ([]byte, error) {
 // EncryptKeyPEM seals a private key under the pass phrase and renders it as
 // an ENCRYPTED GRID KEY PEM block. iter <= 0 selects DefaultKDFIterations.
 func EncryptKeyPEM(key *rsa.PrivateKey, passphrase []byte, iter int) ([]byte, error) {
-	container, err := SealBytes(x509.MarshalPKCS1PrivateKey(key), passphrase, iter)
+	der := x509.MarshalPKCS1PrivateKey(key)
+	defer WipeBytes(der)
+	container, err := SealBytes(der, passphrase, iter)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +138,7 @@ func DecryptKeyPEM(data, passphrase []byte) (*rsa.PrivateKey, error) {
 			return nil, err
 		}
 		key, err := x509.ParsePKCS1PrivateKey(der)
+		WipeBytes(der) // parsed (or unparseable); the DER image is done
 		if err != nil {
 			return nil, fmt.Errorf("pki: parse decrypted key: %w", err)
 		}

@@ -1,0 +1,56 @@
+package pki
+
+import (
+	"crypto/rsa"
+	"math/big"
+)
+
+// Best-effort scrubbing of key material. Go's runtime may have copied a
+// buffer during GC or stack growth, so zeroing is not a guarantee — but the
+// paper's threat model (§2.1, §5.1: the repository holds keys encrypted and
+// exposes plaintext only transiently) makes "don't leave plaintext sitting
+// in dead heap objects" the cheap, worthwhile half of the discipline. The
+// myproxy-vet zeroize pass enforces that every transient secret buffer
+// reaches one of these helpers (or an inline zeroing loop) on all paths.
+
+// WipeBytes zeroes b in place. Call it as soon as a decrypted key, derived
+// KDF output, or plaintext credential encoding has served its purpose.
+func WipeBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// WipeKey zeroes the private components of an RSA key in place: the private
+// exponent, the primes, and the CRT precomputation. The key is unusable
+// afterwards. Wiping reaches into the big.Int backing arrays — dropping the
+// last reference alone would leave the words intact on the heap until the
+// allocator reuses them.
+func WipeKey(k *rsa.PrivateKey) {
+	if k == nil {
+		return
+	}
+	wipeBig(k.D)
+	for _, p := range k.Primes {
+		wipeBig(p)
+	}
+	wipeBig(k.Precomputed.Dp)
+	wipeBig(k.Precomputed.Dq)
+	wipeBig(k.Precomputed.Qinv)
+	for _, crt := range k.Precomputed.CRTValues {
+		wipeBig(crt.Exp)
+		wipeBig(crt.Coeff)
+		wipeBig(crt.R)
+	}
+}
+
+func wipeBig(i *big.Int) {
+	if i == nil {
+		return
+	}
+	bits := i.Bits()
+	for j := range bits {
+		bits[j] = 0
+	}
+	i.SetInt64(0)
+}

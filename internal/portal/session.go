@@ -93,10 +93,22 @@ func (s *Sessions) Lookup(token string) (*Session, error) {
 		return nil, ErrNoSession
 	}
 	if s.now().After(sess.Expires) {
+		scrubSession(sess)
 		delete(s.byToken, token)
 		return nil, ErrNoSession
 	}
 	return sess, nil
+}
+
+// scrubSession wipes the delegated private key before a session is dropped.
+// Deleting the map entry alone leaves the key words intact on the heap until
+// the allocator reuses them; the paper's "deletes the user's delegated
+// credential" (§4.3) is taken at the memory level, not just the table level.
+func scrubSession(sess *Session) {
+	if sess.Credential != nil {
+		pki.WipeKey(sess.Credential.PrivateKey)
+		sess.Credential = nil
+	}
 }
 
 // Destroy logs a session out, dropping its credential (paper §4.3: "the
@@ -106,7 +118,7 @@ func (s *Sessions) Destroy(token string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.byToken[token]; ok {
-		sess.Credential = nil
+		scrubSession(sess)
 		delete(s.byToken, token)
 	}
 }
@@ -119,7 +131,7 @@ func (s *Sessions) Sweep() int {
 	dropped := 0
 	for token, sess := range s.byToken {
 		if now.After(sess.Expires) {
-			sess.Credential = nil
+			scrubSession(sess)
 			delete(s.byToken, token)
 			dropped++
 		}

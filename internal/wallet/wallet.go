@@ -233,6 +233,7 @@ func Load(dir string, passphrase []byte) (*Wallet, error) {
 			return nil, fmt.Errorf("wallet: read %q: %w", me.Name, err)
 		}
 		cred, err := pki.DecodeCredentialPEM(credData, passphrase)
+		pki.WipeBytes(credData) // decoded; drop the on-disk credential image
 		if err != nil {
 			return nil, fmt.Errorf("wallet: open %q: %w", me.Name, err)
 		}

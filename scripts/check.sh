@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== myproxy-vet ./..."
+echo "== myproxy-vet ./... (syntactic + flow-sensitive passes)"
 go run ./cmd/myproxy-vet ./...
 
 echo "== go build ./..."
