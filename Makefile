@@ -15,17 +15,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md "Static-analysis gate" + "CFG/dataflow engine") — the five
-# syntactic passes plus the flow-sensitive connleak, zeroize, ctxdeadline
-# and deferclose passes; it exits nonzero on any finding not covered by a
-# //myproxy:allow pragma.
+# DESIGN.md "Static-analysis gate" + "CFG/dataflow engine" + "Concurrency-
+# safety passes") — the five syntactic passes, the flow-sensitive connleak,
+# zeroize, ctxdeadline and deferclose passes, and the concurrency trio
+# lockcheck, guardedby and goroleak; it exits nonzero on any finding not
+# covered by a //myproxy:allow pragma.
 lint:
 	$(GO) run ./cmd/myproxy-vet ./...
 
 # vet-self is the fast loop when developing an analyzer pass: the CFG unit
 # tests and the golden fixtures only, no repo-wide load.
 vet-self:
-	$(GO) test ./internal/analysis -run 'TestCFG|TestGolden|TestPragmaScoping'
+	$(GO) test ./internal/analysis -run 'TestCFG|TestGolden|TestPragmaScoping|TestLockFlow|TestSARIF'
 
 test:
 	$(GO) test ./...

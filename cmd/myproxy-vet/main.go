@@ -6,18 +6,22 @@
 //
 // Usage:
 //
-//	myproxy-vet [-json] [-baseline file] [patterns ...]
+//	myproxy-vet [-json | -sarif] [-baseline file] [patterns ...]
 //
 // Patterns default to ./.... Exit status is 0 when clean, 1 when findings
 // were reported, 2 on load or usage errors. Findings are suppressed at a
 // specific site with //myproxy:allow <pass> <reason>; see DESIGN.md
-// ("Static-analysis gate").
+// ("Static-analysis gate"). -json emits the findings as a JSON object;
+// -sarif emits a SARIF 2.1.0 log for CI annotation upload.
 //
 // For adopting a new pass over a codebase with existing findings,
 // -write-baseline records the current findings as "file: pass: message"
 // keys (no line numbers, so unrelated edits do not churn the file) and
 // -baseline filters any finding whose key appears in such a file: only
 // NEW findings fail the gate while the recorded debt is burned down.
+// Entries whose finding no longer fires in a file the run analyzed are
+// stale: -baseline prunes them from the file and prints each one, so the
+// baseline ratchets monotonically toward empty.
 package main
 
 import (
@@ -35,14 +39,19 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for CI annotation upload)")
 	listPasses := flag.Bool("passes", false, "list the registered passes and exit")
-	baselineFile := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	baselineFile := flag.String("baseline", "", "suppress findings recorded in this baseline file; stale entries are pruned")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to a baseline file and exit clean")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json] [-baseline file | -write-baseline file] [patterns ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json | -sarif] [-baseline file | -write-baseline file] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(os.Stderr, "myproxy-vet: -json and -sarif are mutually exclusive\n")
+		os.Exit(2)
+	}
 
 	if *listPasses {
 		for _, p := range analysis.Passes {
@@ -82,18 +91,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
 			os.Exit(2)
 		}
+		matched := make(map[string]bool)
 		kept := rep.Findings[:0]
 		for _, d := range rep.Findings {
-			if known[baselineKey(d)] {
+			if k := baselineKey(d); known[k] {
 				baselined++
+				matched[k] = true
 			} else {
 				kept = append(kept, d)
 			}
 		}
 		rep.Findings = kept
+
+		analyzed := make(map[string]bool, len(rep.Files))
+		for _, f := range rep.Files {
+			analyzed[filepath.ToSlash(relativize(cwd, f))] = true
+		}
+		pruned, err := pruneBaseline(*baselineFile, known, matched, analyzed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, k := range pruned {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: baseline entry fixed, pruned: %s\n", k)
+		}
 	}
 
-	if *jsonOut {
+	if *sarifOut {
+		out, err := analysis.SARIF(rep.Findings, analysis.Passes)
+		if err == nil {
+			_, err = os.Stdout.Write(append(out, '\n'))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		out := struct {
@@ -148,6 +181,40 @@ func saveBaseline(path string, ds []analysis.Diagnostic) error {
 		b.WriteByte('\n')
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// pruneBaseline rewrites the baseline without entries that no longer fire:
+// a key is stale when no finding in this run matched it AND its file was
+// actually analyzed — absence of a finding in a file outside the run's
+// patterns means "not checked", not "fixed", and such entries are kept.
+// Returns the pruned keys, sorted; the file is rewritten only when at least
+// one entry was pruned.
+func pruneBaseline(path string, known, matched, analyzed map[string]bool) ([]string, error) {
+	var pruned, remaining []string
+	for k := range known {
+		file, _, ok := strings.Cut(k, ": ")
+		if !matched[k] && ok && analyzed[file] {
+			pruned = append(pruned, k)
+		} else {
+			remaining = append(remaining, k)
+		}
+	}
+	if len(pruned) == 0 {
+		return nil, nil
+	}
+	sort.Strings(pruned)
+	sort.Strings(remaining)
+	var b strings.Builder
+	b.WriteString("# myproxy-vet baseline: known findings tolerated by -baseline.\n")
+	b.WriteString("# One \"file: pass: message\" key per line; '#' starts a comment.\n")
+	for _, k := range remaining {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return nil, err
+	}
+	return pruned, nil
 }
 
 // loadBaseline reads a baseline file into a key set.

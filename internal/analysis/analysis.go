@@ -88,6 +88,13 @@ type Context struct {
 	// Summaries holds the per-function call summaries the dataflow passes
 	// consult to see one hop across a call (see summary.go).
 	Summaries summaryTable
+	// Guarded holds the //myproxy:guardedby annotations of the load (see
+	// guardedby.go).
+	Guarded *guardTable
+	// FuncDecls maps qualified function names to their declaration sites, so
+	// passes can look across the load at a callee's body (goroleak tests a
+	// spawned named function's CFG for termination).
+	FuncDecls map[string]declSite
 	// cfgs memoizes control-flow graphs by function body, shared between
 	// the summary computation and the dataflow passes.
 	cfgs map[*ast.BlockStmt]*CFG

@@ -6,7 +6,8 @@ import "sort"
 // passes first, then the flow-sensitive ones built on the CFG/dataflow
 // engine.
 var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap,
-	ConnLeak, Zeroize, CtxDeadline, DeferClose}
+	ConnLeak, Zeroize, CtxDeadline, DeferClose,
+	LockCheck, GuardedBy, GoroLeak}
 
 // Report is the outcome of one analyzer run.
 type Report struct {
@@ -15,6 +16,10 @@ type Report struct {
 	// Suppressed are diagnostics covered by a //myproxy:allow pragma,
 	// kept for inspection and tests.
 	Suppressed []Diagnostic
+	// Files lists every source file that was analyzed (sorted, deduplicated,
+	// as recorded in the FileSet). Baseline pruning uses it to tell "this
+	// finding is fixed" apart from "this file was not in the run".
+	Files []string
 }
 
 // Run loads the patterns, executes the passes, and applies pragma
@@ -31,12 +36,15 @@ func Run(patterns []string, passes []*Pass) (*Report, error) {
 // RunPackages executes the passes over already-loaded packages.
 func RunPackages(pkgs []*Package, passes []*Pass) *Report {
 	ctx := &Context{SecretTypes: collectSecretTypes(pkgs)}
+	guarded, guardDiags := collectGuarded(pkgs)
+	ctx.Guarded = guarded
 	ctx.Summaries = buildSummaries(ctx, pkgs)
 	known := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		known[p.Name] = true
 	}
 	pragmas, pragmaDiags := collectPragmas(pkgs, known)
+	pragmaDiags = append(pragmaDiags, guardDiags...)
 
 	var all []Diagnostic
 	for _, pkg := range pkgs {
@@ -45,7 +53,7 @@ func RunPackages(pkgs []*Package, passes []*Pass) *Report {
 		}
 	}
 
-	rep := &Report{Findings: pragmaDiags}
+	rep := &Report{Findings: pragmaDiags, Files: analyzedFiles(pkgs)}
 	for _, d := range all {
 		if pragmas.suppressed(d) {
 			rep.Suppressed = append(rep.Suppressed, d)
@@ -56,6 +64,23 @@ func RunPackages(pkgs []*Package, passes []*Pass) *Report {
 	sortDiags(rep.Findings)
 	sortDiags(rep.Suppressed)
 	return rep
+}
+
+// analyzedFiles collects the distinct source file names of the load.
+func analyzedFiles(pkgs []*Package) []string {
+	seen := make(map[string]bool)
+	var files []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			if name != "" && !seen[name] {
+				seen[name] = true
+				files = append(files, name)
+			}
+		}
+	}
+	sort.Strings(files)
+	return files
 }
 
 func sortDiags(ds []Diagnostic) {

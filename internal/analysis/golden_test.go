@@ -17,6 +17,7 @@ var update = flag.Bool("update", false, "rewrite the golden expect.txt files")
 var fixtures = []string{
 	"weakrand", "secretflow", "consttime", "rawverify", "errwrap", "pragma",
 	"connleak", "zeroize", "ctxdeadline", "deferclose",
+	"lockcheck", "guardedby", "goroleak",
 }
 
 func TestGolden(t *testing.T) {

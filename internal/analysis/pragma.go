@@ -52,6 +52,9 @@ func collectPragmas(pkgs []*Package, knownPasses map[string]bool) (pragmaIndex, 
 					if text == secretMarker {
 						continue // handled by secret.go
 					}
+					if strings.HasPrefix(text, guardedbyMarker) {
+						continue // parsed (and validated) by guardedby.go
+					}
 					pos := pkg.Fset.Position(c.Pos())
 					rest, ok := strings.CutPrefix(text, allowPrefix)
 					if !ok {

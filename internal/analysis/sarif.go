@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF encoding (Static Analysis Results Interchange Format, v2.1.0): the
+// subset CI systems and code hosts actually consume — one run, one driver,
+// one rule per pass, one result per finding with a single physical location.
+// Hand-rolled structs rather than a dependency: the format is just JSON with
+// fixed field names.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders findings as an indented SARIF 2.1.0 log. The rules array
+// carries every registered pass (not just the ones that fired), so a clean
+// run still documents what was checked; ruleIndex points results back into
+// it. Findings from the reserved "pragma" pass get a rule on the fly.
+func SARIF(findings []Diagnostic, passes []*Pass) ([]byte, error) {
+	var rules []sarifRule
+	index := make(map[string]int)
+	addRule := func(name, doc string) {
+		if _, ok := index[name]; ok {
+			return
+		}
+		index[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, p := range passes {
+		addRule(p.Name, p.Doc)
+	}
+	addRule("pragma", "malformed or unknown //myproxy:allow pragma")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, d := range findings {
+		if _, ok := index[d.Pass]; !ok {
+			addRule(d.Pass, "")
+		}
+		line, col := d.Line, d.Col
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based; a missing position is not
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Pass,
+			RuleIndex: index[d.Pass],
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.File)},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "myproxy-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}

@@ -52,6 +52,18 @@ type funcSummary struct {
 	wipes       map[int]bool
 	closes      map[int]bool
 	leakOnError map[int]bool
+	// locksFields maps mutex field paths of the receiver ("mu", "inner.mu",
+	// "" for an embedded mutex locked via the receiver itself) that the
+	// method acquires at some point; the value records a write acquisition
+	// (Lock) vs read (RLock). lockcheck uses it to flag calling a method
+	// that re-acquires a mutex the caller already holds.
+	locksFields map[string]bool
+	// requiresLock maps mutex field paths (relative to the receiver) whose
+	// lock the *caller* must hold: the method accesses a //myproxy:guardedby
+	// field without locking internally. The value records whether a write
+	// lock is needed. Propagated to a fixpoint through same-receiver helper
+	// calls (see computeLockSummaries).
+	requiresLock map[string]bool
 }
 
 func (s *funcSummary) wipesParam(i int) bool  { return s != nil && s.wipes[i] }
@@ -127,17 +139,21 @@ func seedSummaries() summaryTable {
 	return t
 }
 
+// declSite is one function declaration of the load, with everything the
+// summary stages (and the goroleak pass, via Context.FuncDecls) need.
+type declSite struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+	fn  *types.Func
+	key string
+}
+
 // buildSummaries computes the table for one load.
 func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
 	t := seedSummaries()
 
-	type declFn struct {
-		pkg *Package
-		fd  *ast.FuncDecl
-		fn  *types.Func
-		key string
-	}
-	var decls []declFn
+	var decls []declSite
+	ctx.FuncDecls = make(map[string]declSite)
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			for _, d := range file.Decls {
@@ -153,7 +169,8 @@ func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
 				if key == "" {
 					continue
 				}
-				decls = append(decls, declFn{pkg, fd, fn, key})
+				decls = append(decls, declSite{pkg, fd, fn, key})
+				ctx.FuncDecls[key] = declSite{pkg, fd, fn, key}
 			}
 		}
 	}
@@ -222,6 +239,10 @@ func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
 			computeParamFates(ctx, d.pkg, t, d.key, d.fn, d.fd.Body)
 		}
 	}
+
+	// locksFields/requiresLock: the concurrency-safety facts (lockcheck and
+	// guardedby consume them; see lock.go and guardedby.go).
+	computeLockSummaries(ctx, t, decls)
 	return t
 }
 

@@ -1,0 +1,153 @@
+// Package goroleak exercises the goroleak pass: goroutines with no
+// terminating path, sends on channels nobody is committed to receiving,
+// ranges over never-closed channels, and undeadlined blocking reads on
+// captured connections.
+package goroleak
+
+import (
+	"net"
+	"time"
+)
+
+// spinForever has no reachable return: reported at the go statement.
+func spinForever(work chan int) {
+	go func() {
+		for {
+			v := <-work
+			_ = v
+		}
+	}()
+}
+
+// loopWithExit is clean: the done channel gives the worker a way out.
+func loopWithExit(work chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				_ = v
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// namedWorker has no terminating path; spawning it by name is found
+// through the cross-load declaration table.
+func namedWorker(work chan int) {
+	for {
+		v := <-work
+		_ = v
+	}
+}
+
+func spawnsNamedWorker(work chan int) {
+	go namedWorker(work) // reported
+}
+
+// rangeWorker is clean even without a close in its spawner: a range over a
+// channel ends when the channel is closed, so the loop body can end — and
+// the unclosed-range rule below is what checks the spawner's side.
+func closesItsChannel() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// neverCloses: the goroutine ranges over a channel its spawner never
+// closes — the loop can never end.
+func neverCloses() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch { // reported
+			_ = v
+		}
+	}()
+	ch <- 1
+}
+
+// abandonedSend: the only receive sits in a multi-way select; when the
+// timeout arm wins, the sender parks forever on the unbuffered channel.
+func abandonedSend(find func() int) int {
+	res := make(chan int)
+	go func() {
+		res <- find() // reported
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// bufferedSend is clean: the one-slot buffer makes the send unconditional,
+// so the abandoned goroutine can still finish and be collected.
+func bufferedSend(find func() int) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- find()
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// committedReceive is clean: a bare receive outside any select commits the
+// spawner to draining the channel.
+func committedReceive(find func() int) int {
+	res := make(chan int)
+	go func() {
+		res <- find()
+	}()
+	return <-res
+}
+
+// undeadlinedRead: the goroutine blocks in Read on a conn captured from
+// the spawning function, which neither arms a deadline nor closes it.
+func undeadlinedRead(conn net.Conn) {
+	buf := make([]byte, 64)
+	go func() {
+		_, _ = conn.Read(buf) // reported
+	}()
+}
+
+// deadlinedRead is clean: the spawner bounds the read before handing the
+// conn to the goroutine.
+func deadlinedRead(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	go func() {
+		_, _ = conn.Read(buf)
+	}()
+}
+
+// closedFromOutside is clean: the spawner's close unblocks the read.
+func closedFromOutside(conn net.Conn, done chan struct{}) {
+	buf := make([]byte, 64)
+	go func() {
+		_, _ = conn.Read(buf)
+	}()
+	<-done
+	conn.Close()
+}
+
+// suppressed carries a pragma: the finding lands in Suppressed.
+func suppressed(work chan int) {
+	//myproxy:allow goroleak fixture: process-lifetime worker by design
+	go func() {
+		for {
+			v := <-work
+			_ = v
+		}
+	}()
+}

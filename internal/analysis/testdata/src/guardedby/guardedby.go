@@ -1,0 +1,145 @@
+// Package guardedby exercises the guardedby pass: //myproxy:guardedby
+// annotations on struct fields and package variables, must-held proof via
+// the lock-obligation engine, RWMutex read/write distinction, the
+// fresh-local constructor exemption, and interprocedural requiresLock
+// obligations handed from helper methods to their call sites.
+package guardedby
+
+import "sync"
+
+// Table is the annotated struct the fixture revolves around.
+type Table struct {
+	mu sync.Mutex
+	m  map[int]int //myproxy:guardedby mu
+	n  int         //myproxy:guardedby mu
+}
+
+// lockedAccess is clean: every access sits under Lock/defer Unlock.
+func (t *Table) lockedAccess(k int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.m[k]; ok {
+		return v
+	}
+	t.m[k] = 1
+	return 1
+}
+
+// pairedAccess is clean: explicit Lock/Unlock pairs around the access.
+func (t *Table) pairedAccess(k, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.n++
+	t.mu.Unlock()
+}
+
+// nakedWrite writes the guarded map with no lock anywhere: the obligation
+// escapes to callers as requiresLock, so the *call* below is the finding.
+func (t *Table) nakedWrite(k, v int) {
+	t.m[k] = v
+}
+
+// callerOfNaked calls nakedWrite without the lock: reported at the call.
+func callerOfNaked(t *Table) {
+	t.nakedWrite(1, 2)
+}
+
+// callerOfNakedLocked is clean: the caller discharges the obligation.
+func callerOfNakedLocked(t *Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nakedWrite(1, 2)
+}
+
+// helperChain: outer -> middle -> nakedWrite; the obligation propagates
+// through the fixpoint, so the unlocked call to middle is the finding.
+func (t *Table) middle(k int) {
+	t.nakedWrite(k, 0)
+}
+
+func callerOfMiddle(t *Table) {
+	t.middle(3)
+}
+
+// branchyAccess releases before the access on the early branch: the lock
+// is no longer must-held at the write, so it is reported in place (the
+// access is through a parameter, not a receiver helper obligation).
+func branchyAccess(t *Table, early bool) {
+	t.mu.Lock()
+	if early {
+		t.mu.Unlock()
+		t.m[0] = 1 // reported: released just above
+		return
+	}
+	t.mu.Unlock()
+}
+
+// constructor is exempt: a fresh composite-literal local is unshared.
+func constructor() *Table {
+	t := &Table{m: make(map[int]int)}
+	t.m[0] = 1
+	t.n = 1
+	return t
+}
+
+// goroutineAccess: a function literal spawned from a method cannot defer
+// its obligation to call sites — unproven accesses are reported inside it.
+func (t *Table) goroutineAccess() {
+	go func() {
+		t.n++ // reported: no lock in the goroutine
+	}()
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+// RWTable distinguishes read and write locks.
+type RWTable struct {
+	mu sync.RWMutex
+	m  map[string]string //myproxy:guardedby mu
+}
+
+// readUnderRLock is clean: a read access accepts a held read lock.
+func readUnderRLock(t *RWTable, k string) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// writeUnderRLock is a finding: writes need the write lock.
+func writeUnderRLock(t *RWTable, k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = "x"
+}
+
+// deleteUnderLock is clean: delete is a write, and the write lock is held.
+func deleteUnderLock(t *RWTable, k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, k)
+}
+
+// Package-level variable guarded by a package-level mutex.
+var seqMu sync.Mutex
+
+//myproxy:guardedby seqMu
+var seq int
+
+// nextSeq is clean.
+func nextSeq() int {
+	seqMu.Lock()
+	defer seqMu.Unlock()
+	seq++
+	return seq
+}
+
+// peekSeq reads the variable without the lock: a finding in place.
+func peekSeq() int {
+	return seq
+}
+
+// suppressedPeek carries a pragma: the finding lands in Suppressed.
+func suppressedPeek() int {
+	return seq //myproxy:allow guardedby startup-only read before workers exist
+}

@@ -1,0 +1,171 @@
+// Package lockcheck exercises the lockcheck pass: mutexes held at return,
+// double-locks, unmatched unlocks, locks held across blocking calls, defer
+// discharge (direct and via closure), distinct-receiver separation, and the
+// interprocedural self-deadlock rule via locksFields summaries.
+package lockcheck
+
+import (
+	"crypto/tls"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// heldAtReturn leaks the lock out of the error branch: reported at the
+// acquisition, which is reachable-with-lock-held at the early return.
+func heldAtReturn(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		return -1 // the lock escapes here
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// deferCovered is clean: the deferred unlock covers every return.
+func deferCovered(b *box, fail bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return b.n
+}
+
+// closureDeferCovered is clean: the unlock hides inside a deferred closure.
+func closureDeferCovered(b *box) int {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+// reacquireAfterDefer is clean: a defer stays pending for the rest of the
+// function, so unlock-then-relock under the same defer leaks nothing.
+func reacquireAfterDefer(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.mu.Unlock() // temporary release...
+	b.mu.Lock()   // ...and re-acquisition, still covered by the defer
+	b.n++
+}
+
+// doubleLock self-deadlocks: sync.Mutex is not reentrant.
+func doubleLock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Lock() // reported
+}
+
+// unmatchedUnlock releases a mutex no path locked: runtime panic.
+func unmatchedUnlock(b *box) {
+	b.mu.Unlock() // reported
+}
+
+// distinctReceivers is clean: a's and b's mutexes are different locks.
+func distinctReceivers(a, b *box) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// rwPair exercises the read-side bookkeeping.
+type rwPair struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// readersDontConflict is clean: RLock/RUnlock pairs, no write overlap.
+func readersDontConflict(p *rwPair) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.v
+}
+
+// rlockUnderLock deadlocks: a reader cannot join while the writer holds it.
+func rlockUnderLock(p *rwPair) {
+	p.mu.Lock()
+	p.mu.RLock() // reported
+	p.mu.RUnlock()
+	p.mu.Unlock()
+}
+
+// handshakeUnderLock holds the mutex across a TLS handshake: one stalled
+// peer blocks every other user of the lock.
+func handshakeUnderLock(b *box, conn *tls.Conn) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return conn.Handshake() // reported
+}
+
+// handshakeAfterUnlock is clean: the lock is released before the handshake.
+func handshakeAfterUnlock(b *box, conn *tls.Conn) error {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return conn.Handshake()
+}
+
+// channelUnderLock parks on a bare channel receive with the lock held.
+func channelUnderLock(b *box, ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // reported
+}
+
+// selectUnderLock is clean: a multi-way select is the idiomatic bounded
+// wait, so its communications are exempt.
+func selectUnderLock(b *box, ch, quit chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	case <-quit:
+		return 0
+	}
+}
+
+// lockedHelper acquires the receiver's mutex internally; its summary
+// records locksFields["mu"], which the caller-side rule below consumes.
+func (b *box) lockedHelper() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// callsLockedHelperUnderLock self-deadlocks interprocedurally: the helper
+// re-acquires a mutex the caller already holds.
+func callsLockedHelperUnderLock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lockedHelper() // reported
+}
+
+// callsLockedHelperClean is clean: the helper locks for itself.
+func callsLockedHelperClean(b *box) {
+	b.lockedHelper()
+}
+
+// tryLockNoFalsePositives: TryLock held state is may-only, so no
+// double-lock or held-at-return findings on the failure path; the matched
+// unlock stays matched.
+func tryLockNoFalsePositives(b *box) {
+	if b.mu.TryLock() {
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+// suppressed carries a pragma: the finding lands in Suppressed.
+func suppressed(b *box) {
+	b.mu.Lock() //myproxy:allow lockcheck intentionally held across the process exit path in this fixture
+}

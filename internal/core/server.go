@@ -36,11 +36,13 @@ type Server struct {
 	sem chan struct{}
 
 	mu        sync.Mutex
-	listeners map[net.Listener]struct{}
-	active    map[net.Conn]struct{}
+	listeners map[net.Listener]struct{} //myproxy:guardedby mu
+	active    map[net.Conn]struct{}     //myproxy:guardedby mu
 	conns     sync.WaitGroup
-	closed    bool
-	quit      chan struct{}
+	closed    bool //myproxy:guardedby mu
+	// quit is closed (under mu) to broadcast shutdown; receives are
+	// deliberately lock-free — the channel is its own synchronization.
+	quit chan struct{}
 }
 
 // Stats counts repository operations; all fields are updated atomically.

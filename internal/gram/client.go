@@ -35,14 +35,20 @@ type Client struct {
 	conn *gsi.Conn
 }
 
+// timeout is the per-exchange I/O bound (dial, handshake, and each
+// request/reply round trip).
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
 func (c *Client) connection() (*gsi.Conn, error) {
 	if c.conn != nil {
 		return c.conn, nil
 	}
-	timeout := c.Timeout
-	if timeout <= 0 {
-		timeout = 30 * time.Second
-	}
+	timeout := c.timeout()
 	dial := c.DialContext
 	if dial == nil {
 		dial = (&net.Dialer{}).DialContext
@@ -85,6 +91,15 @@ func (c *Client) call(req *Request, delegate bool) (*Reply, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Re-arm the I/O deadline for this exchange: the deadline set at dial
+	// time is absolute, so on a long-lived client every later call would
+	// otherwise run against an already-expired (or imminently expiring)
+	// bound and fail spuriously — or, with no deadline, block forever
+	// under c.mu.
+	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
+		c.conn = nil
+		return nil, fmt.Errorf("gram: arm deadline: %w", err)
+	}
 	data, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -98,6 +113,7 @@ func (c *Client) call(req *Request, delegate bool) (*Reply, error) {
 		if lifetime <= 0 {
 			lifetime = 2 * time.Hour
 		}
+		//myproxy:allow lockcheck c.mu intentionally serializes the shared conn for the whole request/reply exchange; the per-call deadline armed above bounds it
 		if _, err := gsi.Delegate(conn, c.Credential, proxy.Options{
 			Type:     c.DelegationType,
 			Lifetime: lifetime,

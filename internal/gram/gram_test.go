@@ -280,6 +280,25 @@ func TestWaitIdle(t *testing.T) {
 	}
 }
 
+// TestReusedConnectionOutlivesFirstDeadline is the regression test for the
+// stale-deadline bug: connection() armed an absolute deadline at dial time,
+// so on a long-lived client any call after Timeout elapsed ran against an
+// already-expired bound and failed spuriously. call() must re-arm the
+// deadline per exchange.
+func TestReusedConnectionOutlivesFirstDeadline(t *testing.T) {
+	_, addr := startGRAM(t, nil)
+	c := newGRAMClient(t, userProxy(t, proxy.Options{Type: proxy.RFC3820}), addr)
+	c.Timeout = 750 * time.Millisecond
+	if _, err := c.List(); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	// Outlive the deadline armed when the session was established.
+	time.Sleep(time.Second)
+	if _, err := c.List(); err != nil {
+		t.Fatalf("call on reused connection after the dial-time deadline passed: %v", err)
+	}
+}
+
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(Config{}); err == nil {
 		t.Error("empty config accepted")

@@ -13,7 +13,7 @@ import (
 // caller.
 type Gridmap struct {
 	mu      sync.RWMutex
-	entries map[string]string
+	entries map[string]string //myproxy:guardedby mu
 }
 
 // NewGridmap builds an empty gridmap.
@@ -68,7 +68,7 @@ func (g *Gridmap) DNs() []string {
 //
 //	"/C=US/O=Test Grid/CN=Jane Doe" jdoe
 func ParseGridmap(data []byte) (*Gridmap, error) {
-	g := NewGridmap()
+	entries := make(map[string]string)
 	for i, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -94,9 +94,9 @@ func ParseGridmap(data []byte) (*Gridmap, error) {
 		if strings.ContainsAny(account, " \t") {
 			return nil, fmt.Errorf("gsi: gridmap line %d: malformed account %q", i+1, account)
 		}
-		g.entries[dn] = account
+		entries[dn] = account
 	}
-	return g, nil
+	return &Gridmap{entries: entries}, nil
 }
 
 // Encode renders the gridmap in grid-mapfile format, sorted by DN.

@@ -68,7 +68,7 @@ type Portal struct {
 	// across logins — repeat logins resume the GSI channel instead of
 	// paying a full handshake (DESIGN.md §9).
 	clientsMu sync.Mutex
-	clients   map[string]*core.Client
+	clients   map[string]*core.Client //myproxy:guardedby clientsMu
 }
 
 // New builds the portal.

@@ -32,7 +32,7 @@ type Session struct {
 // Sessions tracks live portal sessions.
 type Sessions struct {
 	mu       sync.Mutex
-	byToken  map[string]*Session
+	byToken  map[string]*Session //myproxy:guardedby mu
 	now      func() time.Time
 	lifetime time.Duration
 }

@@ -33,7 +33,7 @@ import (
 // skew can succeed moments later.
 type VerifyCache struct {
 	mu      sync.Mutex
-	entries map[[sha256.Size]byte]*cacheEntry
+	entries map[[sha256.Size]byte]*cacheEntry //myproxy:guardedby mu
 	max     int
 
 	hits, misses atomic.Int64

@@ -57,7 +57,8 @@ type Policy struct {
 // sharedRand backs the default jitter source; rand.Rand is not
 // concurrency-safe, so guard it.
 var (
-	randMu     sync.Mutex
+	randMu sync.Mutex
+	//myproxy:guardedby randMu
 	sharedRand = rand.New(rand.NewSource(time.Now().UnixNano())) //myproxy:allow weakrand backoff jitter decorrelates retry storms; not key material
 )
 

@@ -71,7 +71,7 @@ type Deployment struct {
 	// repeated Get/Put calls — the deployment then measures the steady
 	// state a long-running portal actually sees.
 	clientsMu sync.Mutex
-	clients   map[clientKey]*core.Client
+	clients   map[clientKey]*core.Client //myproxy:guardedby clientsMu
 }
 
 type clientKey struct {

@@ -15,9 +15,9 @@ import (
 // LatencyRecorder accumulates operation latencies, safe for concurrent use.
 type LatencyRecorder struct {
 	mu      sync.Mutex
-	samples []time.Duration
-	start   time.Time
-	elapsed time.Duration
+	samples []time.Duration //myproxy:guardedby mu
+	start   time.Time       //myproxy:guardedby mu
+	elapsed time.Duration   //myproxy:guardedby mu
 }
 
 // NewLatencyRecorder creates an empty recorder.

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== myproxy-vet ./... (syntactic + flow-sensitive passes)"
+echo "== myproxy-vet ./... (syntactic + flow-sensitive + concurrency passes)"
 go run ./cmd/myproxy-vet ./...
 
 echo "== go build ./..."
