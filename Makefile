@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-self lint test race race-hotpath check bench clean
+.PHONY: all build vet vet-self lint test race race-hotpath race-failover check bench clean
 
 all: build
 
@@ -40,7 +40,14 @@ race:
 race-hotpath:
 	$(GO) test -race -count=1 ./internal/keypool ./internal/gsi ./internal/core
 
-check: vet lint build race-hotpath race
+# race-failover re-runs the cluster package and the deterministic
+# kill-one-replica / partition-ambiguity drills (DESIGN.md §12) with a
+# fresh count.
+race-failover:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestClusterFailover|TestClusterPartition' ./internal/sim
+
+check: vet lint build race-hotpath race-failover race
 
 # Short benchmark smoke pass (full runs are driven by cmd/experiments).
 bench:

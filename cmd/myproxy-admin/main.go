@@ -7,6 +7,12 @@
 //	myproxy-admin purge   -store myproxy-store
 //	myproxy-admin remove  -store myproxy-store -l username [-k name]
 //	myproxy-admin stats   -store myproxy-store [-file path]
+//
+// Cluster administration (see cluster.go and DESIGN.md §12):
+//
+//	myproxy-admin ring         -nodes a,b,c [-rf 2] [-l username]
+//	myproxy-admin rebalance    -stores a=dirA,b=dirB [-rf 2] [-dry-run]
+//	myproxy-admin decommission -stores a=dirA,b=dirB -node b [-rf 2] [-dry-run]
 package main
 
 import (
@@ -25,7 +31,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		cliutil.Fatalf("usage: myproxy-admin {list|purge|remove|stats} [flags]")
+		cliutil.Fatalf("usage: myproxy-admin {list|purge|remove|stats|ring|rebalance|decommission} [flags]")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -37,6 +43,12 @@ func main() {
 		cmdRemove(args)
 	case "stats":
 		cmdStats(args)
+	case "ring":
+		cmdRing(args)
+	case "rebalance":
+		cmdRebalance(args)
+	case "decommission":
+		cmdDecommission(args)
 	default:
 		cliutil.Fatalf("myproxy-admin: unknown subcommand %q", cmd)
 	}

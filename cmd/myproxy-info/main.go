@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("myproxy-info: %v", err)
 	}
-	fmt.Printf("username: %s\nserver:   %s\n", *cf.Username, client.Addr)
+	fmt.Printf("username: %s\nserver:   %s\n", *cf.Username, *cf.Server)
 	for _, ci := range infos {
 		name := ci.Name
 		if name == "" {

@@ -61,5 +61,5 @@ func main() {
 		cliutil.Fatalf("myproxy-init: %v", err)
 	}
 	fmt.Printf("A proxy valid for %.0f hours for user %s now exists on %s\n",
-		*hours, *cf.Username, client.Addr)
+		*hours, *cf.Username, *cf.Server)
 }

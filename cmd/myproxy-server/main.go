@@ -29,6 +29,7 @@ func main() {
 	credFile := flag.String("cred", "myproxy-host.pem", "repository host credential")
 	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
 	storeDir := flag.String("store", "myproxy-store", "credential store directory")
+	backendSpec := flag.String("backend", "", "storage backend spec (\"mem\" or \"file:<dir>\"); overrides -store")
 	acceptedFile := flag.String("accepted", "", "accepted_credentials ACL file (who may deposit); required")
 	retrieversFile := flag.String("retrievers", "", "authorized_retrievers ACL file (who may retrieve); required")
 	renewersFile := flag.String("renewers", "", "authorized_renewers ACL file (who may renew); optional")
@@ -76,7 +77,13 @@ func main() {
 	retrievers := loadACL(*retrieversFile, "retrievers", true)
 	renewers := loadACL(*renewersFile, "renewers", false)
 
-	store, err := credstore.NewFileStore(*storeDir)
+	// -backend selects any registered storage engine through the backend
+	// registry; the default remains a file store rooted at -store.
+	spec := *backendSpec
+	if spec == "" {
+		spec = "file:" + *storeDir
+	}
+	store, err := credstore.Open(spec)
 	if err != nil {
 		cliutil.Fatalf("myproxy-server: %v", err)
 	}

@@ -21,8 +21,9 @@ func main() {
 	listen := flag.String("listen", ":8443", "HTTPS listen address")
 	credFile := flag.String("cred", "portal-host.pem", "portal host credential")
 	caFile := flag.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle")
-	myproxyAddr := flag.String("myproxy", "localhost:7512", "MyProxy repository address")
+	myproxyAddr := flag.String("myproxy", "localhost:7512", "MyProxy repository address; a comma-separated list selects a replicated cluster")
 	myproxyDN := flag.String("myproxydn", "*", "expected repository identity (DN pattern)")
+	replication := flag.Int("replication", 0, "cluster replication factor for a multi-node -myproxy list (0 = default)")
 	allowUserRepos := flag.Bool("user-repos", false, "let users name an alternate repository at login (paper §4.3)")
 	gramAddr := flag.String("gram", "", "GRAM job manager address (optional)")
 	mssAddr := flag.String("mss", "", "mass storage address (optional)")
@@ -41,16 +42,17 @@ func main() {
 		cliutil.Fatalf("portal-server: %v", err)
 	}
 	cfg := portal.Config{
-		Credential:      cred,
-		Roots:           roots,
-		MyProxyAddr:     *myproxyAddr,
-		ExpectedMyProxy: *myproxyDN,
-		AllowUserRepos:  *allowUserRepos,
-		GRAMAddr:        *gramAddr,
-		MSSAddr:         *mssAddr,
-		SessionLifetime: time.Duration(*sessionHours * float64(time.Hour)),
-		ProxyLifetime:   time.Duration(*proxyHours * float64(time.Hour)),
-		Logger:          logger,
+		Credential:        cred,
+		Roots:             roots,
+		MyProxyAddr:       *myproxyAddr,
+		ExpectedMyProxy:   *myproxyDN,
+		ReplicationFactor: *replication,
+		AllowUserRepos:    *allowUserRepos,
+		GRAMAddr:          *gramAddr,
+		MSSAddr:           *mssAddr,
+		SessionLifetime:   time.Duration(*sessionHours * float64(time.Hour)),
+		ProxyLifetime:     time.Duration(*proxyHours * float64(time.Hour)),
+		Logger:            logger,
 	}
 	if *keypoolSize > 0 {
 		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)

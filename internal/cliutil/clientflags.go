@@ -2,8 +2,10 @@ package cliutil
 
 import (
 	"flag"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/resilience"
 )
@@ -20,6 +22,9 @@ type ClientFlags struct {
 	// (0 disables retrying); RetryBackoff seeds the exponential backoff.
 	Retries      *int
 	RetryBackoff *time.Duration
+	// Replication is the cluster replication factor when -s names several
+	// nodes (0 selects the cluster default).
+	Replication *int
 }
 
 // RegisterClientFlags installs the shared client flags on fs. defaultCred
@@ -27,7 +32,7 @@ type ClientFlags struct {
 // etc.).
 func RegisterClientFlags(fs *flag.FlagSet, defaultCred string) *ClientFlags {
 	return &ClientFlags{
-		Server:       fs.String("s", "localhost:7512", "myproxy server address (host:port)"),
+		Server:       fs.String("s", "localhost:7512", "myproxy server address (host:port); a comma-separated list selects a replicated cluster"),
 		Cred:         fs.String("cred", defaultCred, "credential file used to authenticate to the server"),
 		CAFile:       fs.String("ca", "grid-ca/ca-cert.pem", "trusted CA certificate bundle"),
 		ServerDN:     fs.String("serverdn", "*", "expected server identity (DN pattern)"),
@@ -35,11 +40,28 @@ func RegisterClientFlags(fs *flag.FlagSet, defaultCred string) *ClientFlags {
 		TimeoutSec:   fs.Int("timeout", 30, "operation timeout in seconds"),
 		Retries:      fs.Int("retries", 2, "retries after transient failures (0 disables)"),
 		RetryBackoff: fs.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per retry, jittered)"),
+		Replication:  fs.Int("replication", 0, "replication factor for a clustered -s list (0 = cluster default)"),
 	}
 }
 
-// BuildClient loads the credential and roots and assembles the client.
-func (cf *ClientFlags) BuildClient(keyPrompt string) (*core.Client, error) {
+// ServerAddrs returns the -s value split on commas (one element for a
+// single-node server).
+func (cf *ClientFlags) ServerAddrs() []string {
+	var out []string
+	for _, a := range strings.Split(*cf.Server, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BuildClient loads the credential and roots and assembles the repository
+// client. A single -s address builds the classic single-node client; a
+// comma-separated list builds a cluster client that shards usernames across
+// the nodes, replicates writes under a quorum, and fails reads over between
+// replicas (DESIGN.md §12).
+func (cf *ClientFlags) BuildClient(keyPrompt string) (core.Repository, error) {
 	cred, err := LoadCredential(*cf.Cred, keyPrompt)
 	if err != nil {
 		return nil, err
@@ -48,18 +70,36 @@ func (cf *ClientFlags) BuildClient(keyPrompt string) (*core.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &core.Client{
-		Credential:     cred,
-		Roots:          roots,
-		Addr:           *cf.Server,
-		ExpectedServer: *cf.ServerDN,
-		Timeout:        time.Duration(*cf.TimeoutSec) * time.Second,
-	}
+	var retry resilience.Policy
 	if *cf.Retries > 0 {
-		c.Retry = resilience.Policy{
+		retry = resilience.Policy{
 			MaxAttempts: *cf.Retries + 1,
 			BaseDelay:   *cf.RetryBackoff,
 		}
 	}
-	return c, nil
+	timeout := time.Duration(*cf.TimeoutSec) * time.Second
+	addrs := cf.ServerAddrs()
+	if len(addrs) > 1 {
+		nodes := make([]cluster.NodeConfig, len(addrs))
+		for i, a := range addrs {
+			nodes[i] = cluster.NodeConfig{Addr: a}
+		}
+		return cluster.New(cluster.Config{
+			Nodes:             nodes,
+			ReplicationFactor: *cf.Replication,
+			Credential:        cred,
+			Roots:             roots,
+			ExpectedServer:    *cf.ServerDN,
+			Timeout:           timeout,
+			Retry:             retry,
+		})
+	}
+	return &core.Client{
+		Credential:     cred,
+		Roots:          roots,
+		Addr:           *cf.Server,
+		ExpectedServer: *cf.ServerDN,
+		Timeout:        timeout,
+		Retry:          retry,
+	}, nil
 }

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/pki"
 	"repro/internal/testpki"
 )
@@ -136,14 +138,50 @@ func TestClientFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-s", "example:7512", "-l", "jdoe", "-ca", caPath, "-timeout", "5"}); err != nil {
 		t.Fatal(err)
 	}
-	client, err := cf.BuildClient("unused")
+	repo, err := cf.BuildClient("unused")
 	if err != nil {
 		t.Fatalf("BuildClient: %v", err)
+	}
+	client, ok := repo.(*core.Client)
+	if !ok {
+		t.Fatalf("single -s address built %T, want *core.Client", repo)
 	}
 	if client.Addr != "example:7512" || client.Timeout != 5*time.Second {
 		t.Errorf("client = %+v", client)
 	}
 	if *cf.Username != "jdoe" {
 		t.Errorf("username = %q", *cf.Username)
+	}
+}
+
+func TestClientFlagsClusterAddress(t *testing.T) {
+	cred := testpki.User(t, "cli-alice")
+	dir := t.TempDir()
+	credPath := filepath.Join(dir, "cred.pem")
+	if err := cred.SaveCredential(credPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	caPath := filepath.Join(dir, "ca.pem")
+	if err := os.WriteFile(caPath, pki.EncodeCertPEM(testpki.CA(t).Certificate()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cf := RegisterClientFlags(fs, credPath)
+	if err := fs.Parse([]string{"-s", "a:7512, b:7512,c:7512", "-ca", caPath}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cf.ServerAddrs(); len(got) != 3 || got[1] != "b:7512" {
+		t.Fatalf("ServerAddrs = %v", got)
+	}
+	repo, err := cf.BuildClient("unused")
+	if err != nil {
+		t.Fatalf("BuildClient: %v", err)
+	}
+	cc, ok := repo.(*cluster.Client)
+	if !ok {
+		t.Fatalf("comma-separated -s built %T, want *cluster.Client", repo)
+	}
+	if got := cc.Nodes(); len(got) != 3 {
+		t.Errorf("cluster nodes = %v, want 3", got)
 	}
 }

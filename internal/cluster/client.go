@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pki"
+	"repro/internal/protocol"
+	"repro/internal/proxy"
+	"repro/internal/resilience"
+)
+
+// NodeConfig names one repository node and where to reach it.
+type NodeConfig struct {
+	ID   NodeID
+	Addr string
+}
+
+// Config parameterizes a cluster Client.
+type Config struct {
+	// Nodes lists the cluster members. IDs default to the address when
+	// empty, which is adequate as long as nodes never move hosts.
+	Nodes []NodeConfig
+	// ReplicationFactor is how many nodes hold each username's credentials
+	// (0 selects DefaultReplicationFactor).
+	ReplicationFactor int
+	// WriteQuorum is the acknowledgements a mutation needs (0 selects a
+	// majority of the replication factor).
+	WriteQuorum int
+	// VnodesPerNode tunes ring granularity (0 selects DefaultVnodes).
+	VnodesPerNode int
+	// Probation is how long a failed node is deprioritized before being
+	// retried (0 selects DefaultProbation).
+	Probation time.Duration
+
+	// NewRepoClient, when non-nil, builds the per-node repository client
+	// (tests and simulation inject fakes or pre-built clients here). nil
+	// builds a *core.Client from the template fields below.
+	NewRepoClient func(node NodeConfig) core.Repository
+
+	// Template fields for the default per-node core.Client; see the
+	// matching fields on core.Client for semantics.
+	Credential     *pki.Credential
+	Roots          *x509.CertPool
+	ExpectedServer string
+	KeyBits        int
+	KeySource      proxy.KeySource
+	ProxyType      proxy.Type
+	Timeout        time.Duration
+	DialContext    func(ctx context.Context, network, addr string) (net.Conn, error)
+	Retry          resilience.Policy
+	Stats          *core.Stats
+}
+
+// DefaultReplicationFactor keeps every credential on two nodes: the smallest
+// RF that survives a single node failure, and the paper's deployment sweet
+// spot (a handful of repository hosts per virtual organization).
+const DefaultReplicationFactor = 2
+
+// Client is a sharded, replicated repository client: a drop-in
+// core.Repository whose operations route to the username's replica set on a
+// consistent-hash ring. Reads fail over between replicas; writes replicate
+// to all of them under a quorum. It is safe for concurrent use.
+type Client struct {
+	cfg    Config
+	router *Router
+	addrs  map[NodeID]string
+
+	mu sync.Mutex
+	//myproxy:guardedby mu
+	clients map[NodeID]core.Repository
+}
+
+var _ core.Repository = (*Client)(nil)
+
+// New builds a cluster client over cfg.Nodes.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = DefaultReplicationFactor
+	}
+	if cfg.ReplicationFactor < 1 {
+		return nil, fmt.Errorf("cluster: replication factor %d < 1", cfg.ReplicationFactor)
+	}
+	ring := NewRing(cfg.VnodesPerNode)
+	addrs := make(map[NodeID]string, len(cfg.Nodes))
+	for i := range cfg.Nodes {
+		n := &cfg.Nodes[i]
+		if n.ID == "" {
+			n.ID = NodeID(n.Addr)
+		}
+		if _, dup := addrs[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		addrs[n.ID] = n.Addr
+		ring.Add(n.ID)
+	}
+	return &Client{
+		cfg:   cfg,
+		addrs: addrs,
+		router: &Router{
+			Ring:        ring,
+			Health:      NewHealth(cfg.Probation),
+			RF:          cfg.ReplicationFactor,
+			WriteQuorum: cfg.WriteQuorum,
+		},
+		clients: make(map[NodeID]core.Repository),
+	}, nil
+}
+
+// Ring exposes the placement ring (admin tooling, tests).
+func (c *Client) Ring() *Ring { return c.router.Ring }
+
+// Replicas returns the replica set for username, primary first.
+func (c *Client) Replicas(username string) []NodeID { return c.router.Replicas(username) }
+
+// node returns (building once) the repository client for id.
+func (c *Client) node(id NodeID) core.Repository {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[id]; ok {
+		return cl
+	}
+	nc := NodeConfig{ID: id, Addr: c.addrs[id]}
+	var cl core.Repository
+	if c.cfg.NewRepoClient != nil {
+		cl = c.cfg.NewRepoClient(nc)
+	} else {
+		cl = &core.Client{
+			Credential:     c.cfg.Credential,
+			Roots:          c.cfg.Roots,
+			Addr:           nc.Addr,
+			ExpectedServer: c.cfg.ExpectedServer,
+			KeyBits:        c.cfg.KeyBits,
+			KeySource:      c.cfg.KeySource,
+			ProxyType:      c.cfg.ProxyType,
+			Timeout:        c.cfg.Timeout,
+			DialContext:    c.cfg.DialContext,
+			Retry:          c.cfg.Retry,
+			Stats:          c.cfg.Stats,
+		}
+	}
+	c.clients[id] = cl
+	return cl
+}
+
+// Put delegates a proxy to every replica of opts.Username under the write
+// quorum. Each replica performs its own delegation handshake, so the stored
+// proxies are distinct certificates over the same identity and policy —
+// semantically one credential, as required for failover.
+func (c *Client) Put(ctx context.Context, opts core.PutOptions) error {
+	return c.router.Write(ctx, opts.Username, "PUT", true, func(ctx context.Context, node NodeID) error {
+		return c.node(node).Put(ctx, opts)
+	})
+}
+
+// Get retrieves a delegation from the first reachable replica.
+func (c *Client) Get(ctx context.Context, opts core.GetOptions) (*pki.Credential, error) {
+	var cred *pki.Credential
+	err := c.router.Read(ctx, opts.Username, func(ctx context.Context, node NodeID) error {
+		var err error
+		cred, err = c.node(node).Get(ctx, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cred, nil
+}
+
+// Info lists credentials from the first reachable replica.
+func (c *Client) Info(ctx context.Context, username, passphrase string) ([]protocol.CredInfo, error) {
+	var infos []protocol.CredInfo
+	err := c.router.Read(ctx, username, func(ctx context.Context, node NodeID) error {
+		var err error
+		infos, err = c.node(node).Info(ctx, username, passphrase)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Destroy removes the credential from every replica. Not retry-safe: a
+// partial quorum surfaces as plain ambiguity for the caller to inspect.
+func (c *Client) Destroy(ctx context.Context, username, passphrase, credName string) error {
+	return c.router.Write(ctx, username, "DESTROY", false, func(ctx context.Context, node NodeID) error {
+		return c.node(node).Destroy(ctx, username, passphrase, credName)
+	})
+}
+
+// ChangePassphrase re-seals the credential on every replica. Not retry-safe:
+// replaying after a partial commit would fail on replicas already re-sealed.
+func (c *Client) ChangePassphrase(ctx context.Context, username, oldPass, newPass, credName string) error {
+	return c.router.Write(ctx, username, "CHANGE_PASSPHRASE", false, func(ctx context.Context, node NodeID) error {
+		return c.node(node).ChangePassphrase(ctx, username, oldPass, newPass, credName)
+	})
+}
+
+// Store deposits a client-sealed credential on every replica. Retry-safe:
+// the sealed bytes are identical on every replay.
+func (c *Client) Store(ctx context.Context, opts core.StoreOptions) error {
+	return c.router.Write(ctx, opts.Username, "STORE", true, func(ctx context.Context, node NodeID) error {
+		return c.node(node).Store(ctx, opts)
+	})
+}
+
+// Retrieve downloads a deposit from the first reachable replica.
+func (c *Client) Retrieve(ctx context.Context, opts core.RetrieveOptions) (*pki.Credential, error) {
+	var cred *pki.Credential
+	err := c.router.Read(ctx, opts.Username, func(ctx context.Context, node NodeID) error {
+		var err error
+		cred, err = c.node(node).Retrieve(ctx, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cred, nil
+}
+
+// Nodes returns the configured members sorted by ID.
+func (c *Client) Nodes() []NodeConfig {
+	out := make([]NodeConfig, 0, len(c.addrs))
+	for id, addr := range c.addrs {
+		out = append(out, NodeConfig{ID: id, Addr: addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/credstore"
+)
+
+// Rebalancing reconciles where entries ARE with where the ring says they
+// SHOULD be. It runs offline over the nodes' backends (myproxy-admin
+// rebalance), after membership changes: adding a node shifts some ring
+// segments onto it, removing one orphans its segments onto the next
+// successors. Decommissioning needs no special mode — build the ring without
+// the leaving node but keep its backend in the stores map, and Plan drains
+// it: its entries are copied to the new owners, then removed.
+
+// MoveKind distinguishes the two reconciliation actions.
+type MoveKind int
+
+const (
+	// MoveCopy copies an entry from a holder to an owner that lacks it.
+	MoveCopy MoveKind = iota
+	// MoveRemove deletes an entry from a node that is not among its
+	// owners. Removals are only planned when every owner holds a copy.
+	MoveRemove
+)
+
+func (k MoveKind) String() string {
+	switch k {
+	case MoveCopy:
+		return "copy"
+	case MoveRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("cluster.MoveKind(%d)", int(k))
+	}
+}
+
+// Move is one planned reconciliation step for one entry.
+type Move struct {
+	Kind     MoveKind
+	Username string
+	Name     string
+	// From is the source holder (MoveCopy) or the node losing the entry
+	// (MoveRemove).
+	From NodeID
+	// To is the destination owner; empty for MoveRemove.
+	To NodeID
+}
+
+func (m Move) String() string {
+	key := m.Username
+	if m.Name != "" {
+		key += "/" + m.Name
+	}
+	if m.Kind == MoveRemove {
+		return fmt.Sprintf("remove %s from %s", key, m.From)
+	}
+	return fmt.Sprintf("copy %s from %s to %s", key, m.From, m.To)
+}
+
+// Plan computes the moves that bring stores into agreement with ring
+// placement at replication factor rf. All copies precede all removals, so
+// applying a plan can never pass through a state with fewer live copies
+// than before. Removals for an entry are withheld until every owner holds
+// it (possibly via a copy earlier in the same plan).
+func Plan(ring *Ring, rf int, stores map[NodeID]credstore.Backend) ([]Move, error) {
+	if rf < 1 {
+		rf = DefaultReplicationFactor
+	}
+	// Inventory: (username, name) -> holders, walking every backend —
+	// including ones no longer in the ring (decommission sources).
+	type key struct{ username, name string }
+	holders := make(map[key][]NodeID)
+	nodeIDs := make([]NodeID, 0, len(stores))
+	for id := range stores {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, id := range nodeIDs {
+		users, err := stores[id].Usernames()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: inventory %s: %w", id, err)
+		}
+		for _, u := range users {
+			entries, err := stores[id].List(u)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: inventory %s/%s: %w", id, u, err)
+			}
+			for _, e := range entries {
+				k := key{u, e.Name}
+				holders[k] = append(holders[k], id)
+			}
+		}
+	}
+	keys := make([]key, 0, len(holders))
+	for k := range holders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].username != keys[j].username {
+			return keys[i].username < keys[j].username
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	var copies, removals []Move
+	for _, k := range keys {
+		owners := ring.Successors(k.username, rf)
+		has := make(map[NodeID]bool, len(holders[k]))
+		for _, h := range holders[k] {
+			has[h] = true
+		}
+		src := holders[k][0] // deterministic: lowest holder ID
+		ownersCovered := true
+		for _, o := range owners {
+			if has[o] {
+				continue
+			}
+			if _, known := stores[o]; !known {
+				return nil, fmt.Errorf("cluster: owner %s of %s/%s has no backend in the plan", o, k.username, k.name)
+			}
+			copies = append(copies, Move{Kind: MoveCopy, Username: k.username, Name: k.name, From: src, To: o})
+			has[o] = true // satisfied by the copy above
+		}
+		for _, o := range owners {
+			if !has[o] {
+				ownersCovered = false
+			}
+		}
+		if !ownersCovered {
+			continue
+		}
+		isOwner := make(map[NodeID]bool, len(owners))
+		for _, o := range owners {
+			isOwner[o] = true
+		}
+		for _, h := range holders[k] {
+			if !isOwner[h] {
+				removals = append(removals, Move{Kind: MoveRemove, Username: k.username, Name: k.name, From: h})
+			}
+		}
+	}
+	return append(copies, removals...), nil
+}
+
+// Apply executes a plan against the backends, in order. It stops at the
+// first failure: because copies precede removals, an interrupted plan leaves
+// at least as many copies of every entry as before, and re-planning resumes
+// from the actual state.
+func Apply(moves []Move, stores map[NodeID]credstore.Backend) error {
+	for _, m := range moves {
+		switch m.Kind {
+		case MoveCopy:
+			e, err := stores[m.From].Get(m.Username, m.Name)
+			if err != nil {
+				return fmt.Errorf("cluster: %s: read source: %w", m, err)
+			}
+			if err := stores[m.To].Put(e); err != nil {
+				return fmt.Errorf("cluster: %s: write destination: %w", m, err)
+			}
+		case MoveRemove:
+			if err := stores[m.From].Delete(m.Username, m.Name); err != nil {
+				return fmt.Errorf("cluster: %s: %w", m, err)
+			}
+		default:
+			return fmt.Errorf("cluster: unknown move kind %v", m.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/credstore"
+	"repro/internal/resilience"
+)
+
+// ReplicatedStore is a credstore.Backend that shards and replicates entries
+// across per-node backends on the same ring discipline as the network
+// client. It serves front-ends that embed their storage directly (httpgate)
+// and the rebalance tooling; the membership is fixed at construction.
+//
+// Error semantics mirror the wire path: a mutation that reaches fewer than
+// the quorum of replicas classifies through resilience.QuorumOutcome; a read
+// fails over between replicas, and ErrNotFound from one replica does NOT end
+// the read — a replica can legitimately lack an entry mid-rebalance, so only
+// "every reachable replica says not found" is a miss.
+type ReplicatedStore struct {
+	ring   *Ring
+	rf     int
+	quorum int
+	stores map[NodeID]credstore.Backend
+}
+
+var _ credstore.Backend = (*ReplicatedStore)(nil)
+
+// NewReplicatedStore builds a replicated backend over stores. rf values
+// below 1 select DefaultReplicationFactor; quorum values below 1 select a
+// majority of rf.
+func NewReplicatedStore(stores map[NodeID]credstore.Backend, rf, quorum int) (*ReplicatedStore, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	if rf < 1 {
+		rf = DefaultReplicationFactor
+	}
+	if quorum < 1 {
+		quorum = rf/2 + 1
+	}
+	ring := NewRing(0)
+	copied := make(map[NodeID]credstore.Backend, len(stores))
+	for id, s := range stores {
+		ring.Add(id)
+		copied[id] = s
+	}
+	return &ReplicatedStore{ring: ring, rf: rf, quorum: quorum, stores: copied}, nil
+}
+
+// replicas returns the replica set for username.
+func (r *ReplicatedStore) replicas(username string) []NodeID {
+	return r.ring.Successors(username, r.rf)
+}
+
+// Put writes e to every replica of its username under the quorum. Retry-safe
+// ambiguity on partial success: replaying an identical Put converges.
+func (r *ReplicatedStore) Put(e *credstore.Entry) error {
+	replicas := r.replicas(e.Username)
+	outcome := resilience.QuorumOutcome{Op: "PUT", Need: min(r.quorum, len(replicas)), RetrySafe: true}
+	for _, node := range replicas {
+		if err := r.stores[node].Put(e); err != nil {
+			outcome.Errs = append(outcome.Errs, fmt.Errorf("%s: %w", node, err))
+		} else {
+			outcome.Acks++
+		}
+	}
+	return outcome.Classify()
+}
+
+// Get returns the entry from the first replica that has it.
+func (r *ReplicatedStore) Get(username, name string) (*credstore.Entry, error) {
+	var failures []string
+	misses := 0
+	for _, node := range r.replicas(username) {
+		e, err := r.stores[node].Get(username, name)
+		switch {
+		case err == nil:
+			return e, nil
+		case errors.Is(err, credstore.ErrNotFound):
+			misses++
+		default:
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+		}
+	}
+	if len(failures) == 0 {
+		return nil, credstore.ErrNotFound
+	}
+	if misses > 0 {
+		// Some replicas miss, some are broken: the entry may exist on a
+		// replica we could not read.
+		return nil, fmt.Errorf("cluster: get %s/%s: %w; degraded replicas: %s",
+			username, name, credstore.ErrNotFound, strings.Join(failures, "; "))
+	}
+	return nil, fmt.Errorf("cluster: get %s/%s: all replicas failed: %s",
+		username, name, strings.Join(failures, "; "))
+}
+
+// List merges the username's entries across reachable replicas (first
+// replica wins per name), so a mid-rebalance gap on one replica does not
+// hide credentials. It fails only when every replica fails.
+func (r *ReplicatedStore) List(username string) ([]*credstore.Entry, error) {
+	replicas := r.replicas(username)
+	byName := make(map[string]*credstore.Entry)
+	var failures []string
+	for _, node := range replicas {
+		entries, err := r.stores[node].List(username)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		for _, e := range entries {
+			if _, ok := byName[e.Name]; !ok {
+				byName[e.Name] = e
+			}
+		}
+	}
+	if len(failures) == len(replicas) {
+		return nil, fmt.Errorf("cluster: list %s: all replicas failed: %s",
+			username, strings.Join(failures, "; "))
+	}
+	out := make([]*credstore.Entry, 0, len(byName))
+	for _, e := range byName {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Default credential (empty name) first, mirroring the single-node
+		// backends' List contract.
+		if (out[i].Name == "") != (out[j].Name == "") {
+			return out[i].Name == ""
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// Delete removes the entry from every replica. A replica that already lacks
+// the entry counts as acknowledged (the goal state holds there); only when
+// every replica reports it missing does the whole Delete return ErrNotFound.
+// Partial success is plain (non-retry-safe) ambiguity, matching DESTROY.
+func (r *ReplicatedStore) Delete(username, name string) error {
+	replicas := r.replicas(username)
+	outcome := resilience.QuorumOutcome{Op: "DELETE", Need: min(r.quorum, len(replicas))}
+	misses := 0
+	for _, node := range replicas {
+		err := r.stores[node].Delete(username, name)
+		switch {
+		case err == nil:
+			outcome.Acks++
+		case errors.Is(err, credstore.ErrNotFound):
+			misses++
+			outcome.Acks++
+		default:
+			outcome.Errs = append(outcome.Errs, fmt.Errorf("%s: %w", node, err))
+		}
+	}
+	if misses == len(replicas) {
+		return credstore.ErrNotFound
+	}
+	return outcome.Classify()
+}
+
+// Usernames unions usernames across ALL nodes (not just one key's replicas):
+// this is the admin/rebalance view, and rebalancing must see entries
+// stranded on nodes that are no longer owners.
+func (r *ReplicatedStore) Usernames() ([]string, error) {
+	seen := make(map[string]struct{})
+	var failures []string
+	for _, node := range r.ring.Nodes() {
+		users, err := r.stores[node].Usernames()
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		for _, u := range users {
+			seen[u] = struct{}{}
+		}
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("cluster: usernames: %s", strings.Join(failures, "; "))
+	}
+	var out []string
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/credstore"
+	"repro/internal/resilience"
+)
+
+// brokenStore wraps a Backend and fails every operation once broken.
+type brokenStore struct {
+	credstore.Backend
+	broken bool
+}
+
+var errDisk = errors.New("input/output error")
+
+func (b *brokenStore) guard() error {
+	if b.broken {
+		return errDisk
+	}
+	return nil
+}
+
+func (b *brokenStore) Put(e *credstore.Entry) error {
+	if err := b.guard(); err != nil {
+		return err
+	}
+	return b.Backend.Put(e)
+}
+func (b *brokenStore) Get(username, name string) (*credstore.Entry, error) {
+	if err := b.guard(); err != nil {
+		return nil, err
+	}
+	return b.Backend.Get(username, name)
+}
+func (b *brokenStore) List(username string) ([]*credstore.Entry, error) {
+	if err := b.guard(); err != nil {
+		return nil, err
+	}
+	return b.Backend.List(username)
+}
+func (b *brokenStore) Delete(username, name string) error {
+	if err := b.guard(); err != nil {
+		return err
+	}
+	return b.Backend.Delete(username, name)
+}
+func (b *brokenStore) Usernames() ([]string, error) {
+	if err := b.guard(); err != nil {
+		return nil, err
+	}
+	return b.Backend.Usernames()
+}
+
+func storeEntry(username, name string) *credstore.Entry {
+	return &credstore.Entry{
+		Username:  username,
+		Name:      name,
+		Owner:     "/C=US/O=Test/CN=owner",
+		SealedKey: []byte("sealed"),
+		CreatedAt: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func newReplicated(t *testing.T, rf int, ids ...NodeID) (*ReplicatedStore, map[NodeID]*brokenStore) {
+	t.Helper()
+	backends := make(map[NodeID]credstore.Backend, len(ids))
+	raw := make(map[NodeID]*brokenStore, len(ids))
+	for _, id := range ids {
+		bs := &brokenStore{Backend: credstore.NewMemStore()}
+		raw[id] = bs
+		backends[id] = bs
+	}
+	rs, err := NewReplicatedStore(backends, rf, 0)
+	if err != nil {
+		t.Fatalf("NewReplicatedStore: %v", err)
+	}
+	return rs, raw
+}
+
+func TestReplicatedStorePutLandsOnReplicasOnly(t *testing.T) {
+	rs, raw := newReplicated(t, 2, "a", "b", "c")
+	if err := rs.Put(storeEntry("alice", "")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	replicas := rs.replicas("alice")
+	holders := 0
+	for id, bs := range raw {
+		if _, err := bs.Backend.Get("alice", ""); err == nil {
+			holders++
+			if !rs.ring.Owns(id, "alice", 2) {
+				t.Errorf("non-replica %s holds the entry (replicas %v)", id, replicas)
+			}
+		}
+	}
+	if holders != 2 {
+		t.Errorf("entry on %d nodes, want 2", holders)
+	}
+}
+
+func TestReplicatedStoreGetFailsOverAcrossReplicas(t *testing.T) {
+	rs, raw := newReplicated(t, 2, "a", "b", "c")
+	if err := rs.Put(storeEntry("alice", "")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	replicas := rs.replicas("alice")
+	raw[replicas[0]].broken = true
+	got, err := rs.Get("alice", "")
+	if err != nil {
+		t.Fatalf("Get with primary broken: %v", err)
+	}
+	if got.Username != "alice" {
+		t.Errorf("Get returned %+v", got)
+	}
+	// All replicas broken: the failure is surfaced, not ErrNotFound.
+	raw[replicas[1]].broken = true
+	if _, err := rs.Get("alice", ""); err == nil || errors.Is(err, credstore.ErrNotFound) {
+		t.Errorf("Get with all replicas broken: %v", err)
+	}
+}
+
+func TestReplicatedStoreMissingIsNotFound(t *testing.T) {
+	rs, _ := newReplicated(t, 2, "a", "b", "c")
+	if _, err := rs.Get("ghost", ""); !errors.Is(err, credstore.ErrNotFound) {
+		t.Errorf("Get missing: %v", err)
+	}
+	if err := rs.Delete("ghost", ""); !errors.Is(err, credstore.ErrNotFound) {
+		t.Errorf("Delete missing: %v", err)
+	}
+}
+
+func TestReplicatedStorePartialPutIsRetrySafe(t *testing.T) {
+	rs, raw := newReplicated(t, 2, "a", "b", "c")
+	replicas := rs.replicas("alice")
+	raw[replicas[1]].broken = true
+	err := rs.Put(storeEntry("alice", ""))
+	if !resilience.IsAmbiguous(err) || !resilience.IsRetrySafe(err) {
+		t.Fatalf("partial Put: got %v, want retry-safe ambiguity", err)
+	}
+	// Healing the replica and replaying converges.
+	raw[replicas[1]].broken = false
+	if err := rs.Put(storeEntry("alice", "")); err != nil {
+		t.Fatalf("replayed Put: %v", err)
+	}
+	for _, r := range replicas {
+		if _, err := raw[r].Backend.Get("alice", ""); err != nil {
+			t.Errorf("replica %s missing entry after replay: %v", r, err)
+		}
+	}
+}
+
+func TestReplicatedStoreDeleteTreatsMissingReplicaAsAcked(t *testing.T) {
+	rs, raw := newReplicated(t, 2, "a", "b", "c")
+	if err := rs.Put(storeEntry("alice", "")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Simulate a rebalance gap: one replica already lacks the entry.
+	replicas := rs.replicas("alice")
+	if err := raw[replicas[0]].Backend.Delete("alice", ""); err != nil {
+		t.Fatalf("seed delete: %v", err)
+	}
+	if err := rs.Delete("alice", ""); err != nil {
+		t.Errorf("Delete with one replica already clean: %v", err)
+	}
+	if _, err := rs.Get("alice", ""); !errors.Is(err, credstore.ErrNotFound) {
+		t.Errorf("entry survived Delete: %v", err)
+	}
+}
+
+func TestReplicatedStoreListMergesAcrossReplicas(t *testing.T) {
+	rs, raw := newReplicated(t, 2, "a", "b", "c")
+	for _, name := range []string{"", "job"} {
+		if err := rs.Put(storeEntry("alice", name)); err != nil {
+			t.Fatalf("Put %q: %v", name, err)
+		}
+	}
+	// Punch a hole in one replica: List must still see both entries.
+	replicas := rs.replicas("alice")
+	if err := raw[replicas[0]].Backend.Delete("alice", "job"); err != nil {
+		t.Fatalf("punch hole: %v", err)
+	}
+	entries, err := rs.List("alice")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Name != "" || entries[1].Name != "job" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name
+		}
+		t.Errorf("List: got %v, want [\"\" \"job\"]", names)
+	}
+}
+
+func TestReplicatedStoreUsernamesUnionsAllNodes(t *testing.T) {
+	rs, raw := newReplicated(t, 1, "a", "b", "c")
+	for i := 0; i < 9; i++ {
+		if err := rs.Put(storeEntry(fmt.Sprintf("user-%d", i), "")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	users, err := rs.Usernames()
+	if err != nil {
+		t.Fatalf("Usernames: %v", err)
+	}
+	if len(users) != 9 {
+		t.Errorf("Usernames: got %d, want 9: %v", len(users), users)
+	}
+	// A broken node makes the global view unreliable: error, not a silent
+	// partial list (rebalance depends on completeness).
+	raw["b"].broken = true
+	if _, err := rs.Usernames(); err == nil {
+		t.Error("Usernames with a broken node returned no error")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/pki"
+	"repro/internal/protocol"
+)
+
+// Repository is the operation surface every repository consumer programs
+// against: the seven client operations of the paper's protocol (§4).
+// *Client implements it against a single repository node; a cluster client
+// implements it with consistent-hash shard routing, replicated writes, and
+// read failover across many nodes (DESIGN.md §12). Front-ends — the portal,
+// the CLI tools, the simulation harness — take a Repository, so swapping a
+// single node for a cluster changes wiring, not call sites.
+type Repository interface {
+	// Put delegates a proxy into the repository (myproxy-init, Fig. 1).
+	Put(ctx context.Context, opts PutOptions) error
+	// Get retrieves a delegated proxy (myproxy-get-delegation, Fig. 2).
+	Get(ctx context.Context, opts GetOptions) (*pki.Credential, error)
+	// Info lists stored credentials the pass phrase authenticates.
+	Info(ctx context.Context, username, passphrase string) ([]protocol.CredInfo, error)
+	// Destroy removes a stored credential (paper §4.1).
+	Destroy(ctx context.Context, username, passphrase, credName string) error
+	// ChangePassphrase re-seals a stored credential under a new pass phrase.
+	ChangePassphrase(ctx context.Context, username, oldPass, newPass, credName string) error
+	// Store deposits a client-sealed long-term credential (paper §6.1).
+	Store(ctx context.Context, opts StoreOptions) error
+	// Retrieve downloads and unseals a deposit made with Store.
+	Retrieve(ctx context.Context, opts RetrieveOptions) (*pki.Credential, error)
+}
+
+var _ Repository = (*Client)(nil)

@@ -151,6 +151,7 @@ func (s *FileStore) readLocked(path string) (*Entry, error) {
 		return nil, fmt.Errorf("credstore: %s has no entry body", filepath.Base(path))
 	}
 	fe.Entry.Username, fe.Entry.Name = fe.Username, fe.Name
+	fe.Entry.normalize() // JSON resurrects empty slices as non-nil
 	return fe.Entry, nil
 }
 

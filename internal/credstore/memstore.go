@@ -75,7 +75,7 @@ func (s *MemStore) Usernames() ([]string, error) {
 	for k := range s.entries {
 		seen[k.username] = true
 	}
-	out := make([]string, 0, len(seen))
+	var out []string // nil when empty: the canonical shape shared with FileStore
 	for u := range seen {
 		out = append(out, u)
 	}

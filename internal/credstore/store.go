@@ -94,7 +94,8 @@ func (e *Entry) Expired(now time.Time) bool {
 	return !e.NotAfter.IsZero() && now.After(e.NotAfter)
 }
 
-// Clone returns a deep copy so callers can mutate safely.
+// Clone returns a deep copy so callers can mutate safely. The copy is in
+// canonical form (normalize).
 func (e *Entry) Clone() *Entry {
 	c := *e
 	c.CertsPEM = append([]byte(nil), e.CertsPEM...)
@@ -102,24 +103,61 @@ func (e *Entry) Clone() *Entry {
 	c.Verifier = append([]byte(nil), e.Verifier...)
 	c.VerifierSalt = append([]byte(nil), e.VerifierSalt...)
 	c.TaskTags = append([]string(nil), e.TaskTags...)
+	c.normalize()
 	return &c
 }
 
-// Store is the repository storage interface. Implementations must be safe
-// for concurrent use.
-type Store interface {
+// normalize puts the entry in canonical form: empty slices become nil.
+// Backends must return normalized entries — an in-memory backend naturally
+// drops the empty/nil distinction through Clone's append, while a JSON
+// round trip resurrects empty-but-non-nil slices; without one canonical
+// form, cluster replicas backed by different engines would disagree on
+// byte-identical credentials.
+func (e *Entry) normalize() {
+	if len(e.CertsPEM) == 0 {
+		e.CertsPEM = nil
+	}
+	if len(e.SealedKey) == 0 {
+		e.SealedKey = nil
+	}
+	if len(e.Verifier) == 0 {
+		e.Verifier = nil
+	}
+	if len(e.VerifierSalt) == 0 {
+		e.VerifierSalt = nil
+	}
+	if len(e.TaskTags) == 0 {
+		e.TaskTags = nil
+	}
+}
+
+// Backend is the pluggable single-node persistence contract: the five
+// operations every storage implementation (in-memory, directory-backed,
+// and any future engine registered with RegisterBackend) must provide.
+// Implementations must be safe for concurrent use, must return entries
+// in canonical form (see Entry.normalize), and must use the package error
+// values (ErrNotFound) so higher layers — the repository server, the
+// cluster replication path — behave identically regardless of backend.
+// The conformance suite in conformance_test.go enforces the contract.
+type Backend interface {
 	// Put inserts or replaces the entry keyed by (Username, Name).
 	Put(e *Entry) error
 	// Get returns the entry or ErrNotFound.
 	Get(username, name string) (*Entry, error)
 	// List returns all entries for username, default credential first,
-	// then sorted by name.
+	// then sorted by name. A username with no entries yields an empty
+	// list, not an error.
 	List(username string) ([]*Entry, error)
 	// Delete removes an entry, returning ErrNotFound if absent.
 	Delete(username, name string) error
-	// Usernames returns all usernames with stored credentials (admin use).
+	// Usernames returns all usernames with stored credentials, sorted
+	// (admin and rebalance use).
 	Usernames() ([]string, error)
 }
+
+// Store is the historical name for the storage interface; it is the same
+// contract as Backend.
+type Store = Backend
 
 // ErrNotFound is returned for missing credentials.
 var ErrNotFound = errors.New("credstore: no such credential")

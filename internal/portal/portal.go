@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gram"
 	"repro/internal/mss"
@@ -32,9 +33,14 @@ type Config struct {
 	// MyProxyAddr is the repository the portal retrieves delegations from;
 	// users may override it per login when AllowUserRepos is set
 	// (paper §4.3: "the user might also specify a MyProxy repository for
-	// the portal to use").
+	// the portal to use"). A comma-separated list of addresses selects a
+	// replicated repository cluster (DESIGN.md §12): logins shard across
+	// the nodes and fail over between replicas.
 	MyProxyAddr    string
 	AllowUserRepos bool
+	// ReplicationFactor is the cluster replication factor when MyProxyAddr
+	// names multiple nodes (0 selects cluster.DefaultReplicationFactor).
+	ReplicationFactor int
 	// ExpectedMyProxy pins the repository identity (DN pattern).
 	ExpectedMyProxy string
 	// GRAMAddr/MSSAddr are the Grid resources the portal drives.
@@ -63,12 +69,13 @@ type Portal struct {
 	sessions *Sessions
 	mux      *http.ServeMux
 
-	// clients memoizes one core.Client per repository address so the TLS
+	// clients memoizes one repository client per address spec so the TLS
 	// session cache and chain-verification cache inside each client survive
 	// across logins — repeat logins resume the GSI channel instead of
-	// paying a full handshake (DESIGN.md §9).
+	// paying a full handshake (DESIGN.md §9). A spec naming several nodes
+	// maps to one cluster client (which memoizes per-node clients itself).
 	clientsMu sync.Mutex
-	clients   map[string]*core.Client //myproxy:guardedby clientsMu
+	clients   map[string]core.Repository //myproxy:guardedby clientsMu
 }
 
 // New builds the portal.
@@ -83,7 +90,7 @@ func New(cfg Config) (*Portal, error) {
 		cfg:      cfg,
 		sessions: NewSessions(cfg.SessionLifetime, cfg.Now),
 		mux:      http.NewServeMux(),
-		clients:  make(map[string]*core.Client),
+		clients:  make(map[string]core.Repository),
 	}
 	p.routes()
 	return p, nil
@@ -127,25 +134,59 @@ func (p *Portal) now() time.Time {
 	return time.Now()
 }
 
-// repoClient returns the memoized core.Client for repoAddr, creating it on
-// first use. Reusing the client is what lets its TLS session cache and
-// verification cache pay off on the second and later logins.
-func (p *Portal) repoClient(repoAddr string) *core.Client {
+// repoClient returns the memoized repository client for repoAddr, creating
+// it on first use. Reusing the client is what lets its TLS session cache and
+// verification cache pay off on the second and later logins. A
+// comma-separated repoAddr builds a cluster client sharding across the
+// listed nodes with read failover and replicated writes.
+func (p *Portal) repoClient(repoAddr string) (core.Repository, error) {
 	p.clientsMu.Lock()
 	defer p.clientsMu.Unlock()
 	if c, ok := p.clients[repoAddr]; ok {
-		return c
+		return c, nil
 	}
-	c := &core.Client{
-		Credential:     p.cfg.Credential,
-		Roots:          p.cfg.Roots,
-		Addr:           repoAddr,
-		ExpectedServer: p.cfg.ExpectedMyProxy,
-		KeyBits:        p.cfg.KeyBits,
-		KeySource:      p.cfg.KeySource,
+	var c core.Repository
+	if addrs := splitAddrs(repoAddr); len(addrs) > 1 {
+		nodes := make([]cluster.NodeConfig, len(addrs))
+		for i, a := range addrs {
+			nodes[i] = cluster.NodeConfig{Addr: a}
+		}
+		cc, err := cluster.New(cluster.Config{
+			Nodes:             nodes,
+			ReplicationFactor: p.cfg.ReplicationFactor,
+			Credential:        p.cfg.Credential,
+			Roots:             p.cfg.Roots,
+			ExpectedServer:    p.cfg.ExpectedMyProxy,
+			KeyBits:           p.cfg.KeyBits,
+			KeySource:         p.cfg.KeySource,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("portal: repository cluster %q: %w", repoAddr, err)
+		}
+		c = cc
+	} else {
+		c = &core.Client{
+			Credential:     p.cfg.Credential,
+			Roots:          p.cfg.Roots,
+			Addr:           repoAddr,
+			ExpectedServer: p.cfg.ExpectedMyProxy,
+			KeyBits:        p.cfg.KeyBits,
+			KeySource:      p.cfg.KeySource,
+		}
 	}
 	p.clients[repoAddr] = c
-	return c
+	return c, nil
+}
+
+// splitAddrs parses a comma-separated address spec, dropping empties.
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 const sessionCookie = "portal_session"
@@ -249,7 +290,11 @@ func (p *Portal) handleLogin(w http.ResponseWriter, r *http.Request) {
 			repoAddr = alt
 		}
 	}
-	client := p.repoClient(repoAddr)
+	client, err := p.repoClient(repoAddr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	cred, err := client.Get(r.Context(), core.GetOptions{
 		Username:   username,
 		Passphrase: passphrase,

@@ -152,16 +152,37 @@ type Response struct {
 	Blob []byte
 }
 
+// ServerError is a definitive verdict spoken by the repository itself —
+// an authorization failure, a bad pass phrase, a policy rejection. Its
+// type distinguishes "the server answered and said no" from transport
+// faults: a client must not retry it, and a cluster router must not fail
+// over to another replica for it (every replica would say the same).
+type ServerError struct {
+	Code ResponseCode
+	// Msgs carries the response's diagnostic lines.
+	Msgs []string
+}
+
+func (e *ServerError) Error() string {
+	msg := strings.Join(e.Msgs, "; ")
+	if msg == "" {
+		msg = fmt.Sprintf("response code %d", int(e.Code))
+	}
+	return "myproxy server: " + msg
+}
+
+// IsServerVerdict reports whether err is (or wraps) a repository verdict.
+func IsServerVerdict(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se)
+}
+
 // Err converts a non-OK response into an error.
 func (r *Response) Err() error {
 	if r.Code == RespOK {
 		return nil
 	}
-	msg := strings.Join(r.Errors, "; ")
-	if msg == "" {
-		msg = fmt.Sprintf("response code %d", r.Code)
-	}
-	return fmt.Errorf("myproxy server: %s", msg)
+	return &ServerError{Code: r.Code, Msgs: r.Errors}
 }
 
 type fieldWriter struct {

@@ -101,6 +101,14 @@ type AmbiguousError struct {
 	Op string
 	// Err is the transport failure that interrupted the confirmation.
 	Err error
+	// RetrySafe marks ambiguity that is nonetheless safe to replay: the
+	// operation is idempotent *for the same caller* — re-sending a PUT
+	// overwrites the caller's own deposit with the same content, so an
+	// unknown outcome costs nothing to resolve by retrying. A DESTROY is
+	// never retry-safe (a replay reports a spurious "not found", or worse,
+	// removes a deposit that landed between the attempts). Policy.Do
+	// retries retry-safe ambiguity and surfaces the rest.
+	RetrySafe bool
 }
 
 func (e *AmbiguousError) Error() string {
@@ -117,10 +125,25 @@ func Ambiguous(op string, err error) error {
 	return &AmbiguousError{Op: op, Err: err}
 }
 
+// AmbiguousRetryable wraps err as retry-safe ambiguity (see
+// AmbiguousError.RetrySafe). A nil err returns nil.
+func AmbiguousRetryable(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &AmbiguousError{Op: op, Err: err, RetrySafe: true}
+}
+
 // IsAmbiguous reports whether err carries post-commit ambiguity.
 func IsAmbiguous(err error) bool {
 	var ae *AmbiguousError
 	return errors.As(err, &ae)
+}
+
+// IsRetrySafe reports whether err is ambiguity marked safe to replay.
+func IsRetrySafe(err error) bool {
+	var ae *AmbiguousError
+	return errors.As(err, &ae) && ae.RetrySafe
 }
 
 // Backoff returns the backoff before retry number retry (0-based), without
@@ -221,7 +244,10 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 		if errors.As(err, &pe) {
 			return pe.err
 		}
-		if IsAmbiguous(err) {
+		// Ambiguity stops retries — unless it is explicitly retry-safe
+		// (an idempotent-for-this-caller write such as PUT), which rides
+		// the normal backoff like any transient fault.
+		if IsAmbiguous(err) && !IsRetrySafe(err) {
 			return err
 		}
 		if attempt >= attempts {

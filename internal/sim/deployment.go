@@ -8,7 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/credstore"
+	"repro/internal/faultnet"
 	"repro/internal/gram"
 	"repro/internal/gsi"
 	"repro/internal/keypool"
@@ -39,6 +42,13 @@ type Config struct {
 	// measure warm-pool hot-path latency set it to cover their iteration
 	// count (see Deployment.WarmKeys).
 	KeyPoolSize int
+	// ReplicationFactor configures ClusterClient: how many repositories
+	// hold each username's credentials (0 selects the cluster default).
+	ReplicationFactor int
+	// Probation is the cluster clients' node-probation window (0 selects
+	// the cluster default); failover tests shorten it so healing happens
+	// within the test.
+	Probation time.Duration
 	// WithGRAM/WithMSS add those services.
 	WithGRAM bool
 	WithMSS  bool
@@ -49,9 +59,12 @@ type Deployment struct {
 	CA    *pki.CA
 	Roots *x509.CertPool
 
-	Users      []*pki.Credential // long-term user credentials
-	UserNames  []string          // MyProxy account names, index-aligned
-	Portals    []*pki.Credential // portal host credentials
+	Users     []*pki.Credential // long-term user credentials
+	UserNames []string          // MyProxy account names, index-aligned
+	Portals   []*pki.Credential // portal host credentials
+	// Repos holds the running repository servers, index-aligned with
+	// RepoAddrs. KillRepo/RestartRepo replace entries in place; concurrent
+	// readers should go through Repo(i).
 	Repos      []*core.Server
 	RepoAddrs  []string
 	GRAM       *gram.Server
@@ -61,10 +74,32 @@ type Deployment struct {
 	Gridmap    *gsi.Gridmap
 	Passphrase string
 
-	keyBits   int
-	keys      *keypool.Pool
-	listeners []net.Listener
-	closers   []func() error
+	keyBits       int
+	kdfIterations int
+	replication   int
+	probation     time.Duration
+	keys          *keypool.Pool
+	listeners     []net.Listener
+	closers       []func() error
+
+	// Per-repository state kept so a repo can be killed and restarted in
+	// place: the host credential and the store survive the process, exactly
+	// like a repository host rebooting with its disk intact.
+	repoHosts  []*pki.Credential
+	repoStores []credstore.Backend
+
+	// repoMu serializes kill/restart transitions and guards the listener
+	// slice those transitions replace.
+	repoMu sync.Mutex
+	//myproxy:guardedby repoMu
+	repoLns []net.Listener
+
+	// partitioned marks repository addresses whose traffic the simulated
+	// network drops at connect time (faultnet-style injected failures) —
+	// the process is up, the network path is not.
+	partMu sync.Mutex
+	//myproxy:guardedby partMu
+	partitioned map[string]bool
 
 	// clients memoizes one core.Client per (credential, repo) pair so the
 	// per-client TLS session cache and verification cache persist across
@@ -72,6 +107,8 @@ type Deployment struct {
 	// state a long-running portal actually sees.
 	clientsMu sync.Mutex
 	clients   map[clientKey]*core.Client //myproxy:guardedby clientsMu
+	//myproxy:guardedby clientsMu
+	clusterClients map[int]*cluster.Client
 }
 
 type clientKey struct {
@@ -111,13 +148,18 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	roots.AddCert(ca.Certificate())
 
 	d := &Deployment{
-		CA:         ca,
-		Roots:      roots,
-		Gridmap:    gsi.NewGridmap(),
-		Passphrase: "simulation pass phrase",
-		keyBits:    cfg.KeyBits,
-		keys:       keypool.New(cfg.KeyPoolSize, 0, cfg.KeyBits),
-		clients:    make(map[clientKey]*core.Client),
+		CA:             ca,
+		Roots:          roots,
+		Gridmap:        gsi.NewGridmap(),
+		Passphrase:     "simulation pass phrase",
+		keyBits:        cfg.KeyBits,
+		kdfIterations:  cfg.KDFIterations,
+		replication:    cfg.ReplicationFactor,
+		probation:      cfg.Probation,
+		keys:           keypool.New(cfg.KeyPoolSize, 0, cfg.KeyBits),
+		partitioned:    make(map[string]bool),
+		clients:        make(map[clientKey]*core.Client),
+		clusterClients: make(map[int]*cluster.Client),
 	}
 	base := pki.MustParseDN("/C=US/O=Sim Grid")
 
@@ -145,30 +187,17 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			d.Close()
 			return nil, err
 		}
-		srv, err := core.NewServer(core.ServerConfig{
-			Credential:           host,
-			Roots:                roots,
-			AcceptedCredentials:  policy.NewACL("/C=US/O=Sim Grid/*"),
-			AuthorizedRetrievers: policy.NewACL("/C=US/O=Sim Grid/*"),
-			AuthorizedRenewers:   policy.NewACL("/C=US/O=Sim Grid/*"),
-			KDFIterations:        cfg.KDFIterations,
-			DelegationKeyBits:    cfg.KeyBits,
-			KeySource:            d.keys,
-		})
-		if err != nil {
+		// Each repository gets a persistent store that survives KillRepo/
+		// RestartRepo — the host's disk, as opposed to its process.
+		d.repoHosts = append(d.repoHosts, host)
+		d.repoStores = append(d.repoStores, credstore.NewMemStore())
+		d.Repos = append(d.Repos, nil)
+		d.RepoAddrs = append(d.RepoAddrs, "")
+		d.repoLns = append(d.repoLns, nil)
+		if err := d.startRepo(i, "127.0.0.1:0"); err != nil {
 			d.Close()
 			return nil, err
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			d.Close()
-			return nil, err
-		}
-		go srv.Serve(ln)
-		d.Repos = append(d.Repos, srv)
-		d.RepoAddrs = append(d.RepoAddrs, ln.Addr().String())
-		d.listeners = append(d.listeners, ln)
-		d.closers = append(d.closers, srv.Close)
 	}
 	if cfg.WithGRAM {
 		host, err := ca.IssueHostCredential(base, "gram.sim", 365*24*time.Hour, cfg.KeyBits)
@@ -215,6 +244,96 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	return d, nil
 }
 
+// startRepo builds and serves repository i from its persistent identity and
+// store, listening on addr. Restart passes the repo's previous address so
+// clients reconnect without reconfiguration.
+func (d *Deployment) startRepo(i int, addr string) error {
+	srv, err := core.NewServer(core.ServerConfig{
+		Credential:           d.repoHosts[i],
+		Roots:                d.Roots,
+		Store:                d.repoStores[i],
+		AcceptedCredentials:  policy.NewACL("/C=US/O=Sim Grid/*"),
+		AuthorizedRetrievers: policy.NewACL("/C=US/O=Sim Grid/*"),
+		AuthorizedRenewers:   policy.NewACL("/C=US/O=Sim Grid/*"),
+		KDFIterations:        d.kdfIterations,
+		DelegationKeyBits:    d.keyBits,
+		KeySource:            d.keys,
+		// A short drain makes KillRepo behave like a crash: in-flight
+		// sessions are cut, which is exactly the fault failover must absorb.
+		DrainTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	d.repoMu.Lock()
+	d.Repos[i] = srv
+	d.repoLns[i] = ln
+	d.repoMu.Unlock()
+	d.RepoAddrs[i] = ln.Addr().String()
+	return nil
+}
+
+// Repo returns repository i's current server, safe against a concurrent
+// KillRepo/RestartRepo.
+func (d *Deployment) Repo(i int) *core.Server {
+	d.repoMu.Lock()
+	defer d.repoMu.Unlock()
+	return d.Repos[i]
+}
+
+// KillRepo stops repository i like a host crash: the listener closes, and
+// in-flight sessions are severed after a token drain. The repo's store and
+// identity survive for RestartRepo.
+func (d *Deployment) KillRepo(i int) {
+	d.repoMu.Lock()
+	srv, ln := d.Repos[i], d.repoLns[i]
+	d.repoLns[i] = nil
+	d.repoMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// RestartRepo brings a killed repository back on its previous address with
+// its previous store — a reboot with the disk intact.
+func (d *Deployment) RestartRepo(i int) error {
+	return d.startRepo(i, d.RepoAddrs[i])
+}
+
+// PartitionRepo cuts (or, with false, restores) the network path to
+// repository i: the process keeps running, but every new connection from the
+// deployment's clients fails at connect time.
+func (d *Deployment) PartitionRepo(i int, cut bool) {
+	d.partMu.Lock()
+	defer d.partMu.Unlock()
+	if cut {
+		d.partitioned[d.RepoAddrs[i]] = true
+	} else {
+		delete(d.partitioned, d.RepoAddrs[i])
+	}
+}
+
+// dialContext is the deployment-wide client dialer; it enforces simulated
+// partitions with faultnet's injected connect failure.
+func (d *Deployment) dialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.partMu.Lock()
+	cut := d.partitioned[addr]
+	d.partMu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("sim: partitioned %s: %w", addr, faultnet.ErrInjectedConnect)
+	}
+	var dialer net.Dialer
+	return dialer.DialContext(ctx, network, addr)
+}
+
 // Close tears everything down.
 func (d *Deployment) Close() {
 	for _, ln := range d.listeners {
@@ -222,6 +341,20 @@ func (d *Deployment) Close() {
 	}
 	for _, c := range d.closers {
 		c()
+	}
+	d.repoMu.Lock()
+	repos := append([]*core.Server(nil), d.Repos...)
+	lns := append([]net.Listener(nil), d.repoLns...)
+	d.repoMu.Unlock()
+	for _, ln := range lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, srv := range repos {
+		if srv != nil {
+			srv.Close()
+		}
 	}
 	if d.keys != nil {
 		d.keys.Close()
@@ -259,9 +392,62 @@ func (d *Deployment) client(key clientKey, cred *pki.Credential) *core.Client {
 		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
 		KeyBits:        d.keyBits,
 		KeySource:      d.keys,
+		DialContext:    d.dialContext,
 	}
 	d.clients[key] = c
 	return c
+}
+
+// ClusterClient returns a memoized cluster client authenticating as portal p
+// across ALL the deployment's repositories, with the configured replication
+// factor. It shards usernames over the repos, replicates writes, and fails
+// reads over — the client side of DESIGN.md §12.
+func (d *Deployment) ClusterClient(p int) (*cluster.Client, error) {
+	d.clientsMu.Lock()
+	defer d.clientsMu.Unlock()
+	if c, ok := d.clusterClients[p]; ok {
+		return c, nil
+	}
+	nodes := make([]cluster.NodeConfig, len(d.RepoAddrs))
+	for i, addr := range d.RepoAddrs {
+		nodes[i] = cluster.NodeConfig{ID: cluster.NodeID(fmt.Sprintf("repo%02d", i)), Addr: addr}
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:             nodes,
+		ReplicationFactor: d.replication,
+		Probation:         d.probation,
+		Credential:        d.Portals[p],
+		Roots:             d.Roots,
+		ExpectedServer:    "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyBits:           d.keyBits,
+		KeySource:         d.keys,
+		DialContext:       d.dialContext,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.clusterClients[p] = c
+	return c, nil
+}
+
+// ClusterUserClient returns a cluster client authenticating as user u (for
+// seeding deposits through the ring).
+func (d *Deployment) ClusterUserClient(u int) (*cluster.Client, error) {
+	nodes := make([]cluster.NodeConfig, len(d.RepoAddrs))
+	for i, addr := range d.RepoAddrs {
+		nodes[i] = cluster.NodeConfig{ID: cluster.NodeID(fmt.Sprintf("repo%02d", i)), Addr: addr}
+	}
+	return cluster.New(cluster.Config{
+		Nodes:             nodes,
+		ReplicationFactor: d.replication,
+		Probation:         d.probation,
+		Credential:        d.Users[u],
+		Roots:             d.Roots,
+		ExpectedServer:    "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyBits:           d.keyBits,
+		KeySource:         d.keys,
+		DialContext:       d.dialContext,
+	})
 }
 
 // UserClient returns a repository client authenticating as user u against

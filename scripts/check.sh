@@ -17,6 +17,10 @@ go build ./...
 echo "== go test -race ./internal/keypool ./internal/gsi ./internal/core (hot-path concurrency)"
 go test -race -count=1 ./internal/keypool ./internal/gsi ./internal/core
 
+echo "== go test -race cluster failover smoke (kill-one-replica drill, DESIGN.md §12)"
+go test -race -count=1 ./internal/cluster
+go test -race -count=1 -run 'TestClusterFailover|TestClusterPartition' ./internal/sim
+
 echo "== go test -race ./..."
 go test -race ./...
 
