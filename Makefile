@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-self lint test race race-hotpath race-failover check bench clean
+.PHONY: all build vet vet-self vet-stats lint test race race-hotpath race-failover check bench clean
 
 all: build
 
@@ -15,18 +15,26 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md "Static-analysis gate" + "CFG/dataflow engine" + "Concurrency-
-# safety passes") — the five syntactic passes, the flow-sensitive connleak,
-# zeroize, ctxdeadline and deferclose passes, and the concurrency trio
-# lockcheck, guardedby and goroleak; it exits nonzero on any finding not
-# covered by a //myproxy:allow pragma.
+# DESIGN.md "Static-analysis gate" through "Interprocedural engine") — all
+# sixteen passes: the five syntactic ones, the flow-sensitive connleak,
+# zeroize, ctxdeadline and deferclose, the concurrency trio lockcheck,
+# guardedby and goroleak, and the distributed-protocol quartet retrysafe,
+# wgbalance, verdict and nilness, with obligations propagated
+# interprocedurally over the call graph. Exits nonzero on any finding not
+# covered by a //myproxy:allow pragma or the checked-in baseline (which is
+# currently empty: the repo self-check is clean).
 lint:
-	$(GO) run ./cmd/myproxy-vet ./...
+	$(GO) run ./cmd/myproxy-vet -baseline vet-baseline.txt ./...
 
-# vet-self is the fast loop when developing an analyzer pass: the CFG unit
-# tests and the golden fixtures only, no repo-wide load.
+# vet-stats runs the same suite and reports per-pass wall time and finding
+# counts as JSON (on stderr, after any findings).
+vet-stats:
+	$(GO) run ./cmd/myproxy-vet -stats -baseline vet-baseline.txt ./...
+
+# vet-self is the fast loop when developing an analyzer pass: the CFG and
+# call-graph unit tests and the golden fixtures only, no repo-wide load.
 vet-self:
-	$(GO) test ./internal/analysis -run 'TestCFG|TestGolden|TestPragmaScoping|TestLockFlow|TestSARIF'
+	$(GO) test ./internal/analysis -run 'TestCFG|TestCallGraph|TestGolden|TestPragmaScoping|TestLockFlow|TestSARIF'
 
 test:
 	$(GO) test ./...

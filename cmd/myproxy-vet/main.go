@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	myproxy-vet [-json | -sarif] [-baseline file] [patterns ...]
+//	myproxy-vet [-json | -sarif] [-stats] [-baseline file] [patterns ...]
 //
 // Patterns default to ./.... Exit status is 0 when clean, 1 when findings
 // were reported, 2 on load or usage errors. Findings are suppressed at a
@@ -41,6 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for CI annotation upload)")
 	listPasses := flag.Bool("passes", false, "list the registered passes and exit")
+	stats := flag.Bool("stats", false, "emit per-pass wall-time and finding-count JSON to stderr")
 	baselineFile := flag.String("baseline", "", "suppress findings recorded in this baseline file; stale entries are pruned")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to a baseline file and exit clean")
 	flag.Usage = func() {
@@ -147,6 +148,14 @@ func main() {
 		if len(rep.Findings) > 0 || baselined > 0 {
 			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma, %d baselined\n",
 				len(rep.Findings), len(rep.Suppressed), baselined)
+		}
+	}
+	if *stats {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.PassStats); err != nil {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	if len(rep.Findings) > 0 {

@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // Diagnostic is one finding: a position, the pass that raised it, and a
@@ -91,24 +92,35 @@ type Context struct {
 	// Guarded holds the //myproxy:guardedby annotations of the load (see
 	// guardedby.go).
 	Guarded *guardTable
+	// Verdicts holds the fully-qualified names of //myproxy:verdict-marked
+	// types whose constants must be handled exhaustively (see verdict.go).
+	Verdicts map[string]bool
 	// FuncDecls maps qualified function names to their declaration sites, so
 	// passes can look across the load at a callee's body (goroleak tests a
 	// spawned named function's CFG for termination).
 	FuncDecls map[string]declSite
+	// CallGraph is the load's qualified-name call graph (callgraph.go); the
+	// interprocedural summary sweep orders its work by the graph's SCCs.
+	CallGraph *CallGraph
 	// cfgs memoizes control-flow graphs by function body, shared between
-	// the summary computation and the dataflow passes.
-	cfgs map[*ast.BlockStmt]*CFG
+	// the summary computation and the dataflow passes; cfgMu makes the
+	// memoizer safe under the parallel per-package driver.
+	cfgMu sync.Mutex
+	cfgs  map[*ast.BlockStmt]*CFG
 }
 
-// cfgOf builds (or returns the memoized) CFG for a function body.
+// cfgOf builds (or returns the memoized) CFG for a function body. Safe for
+// concurrent use: passes running on different packages share the memoizer.
 func (ctx *Context) cfgOf(pkg *Package, name string, body *ast.BlockStmt) *CFG {
+	ctx.cfgMu.Lock()
+	defer ctx.cfgMu.Unlock()
 	if ctx.cfgs == nil {
 		ctx.cfgs = make(map[*ast.BlockStmt]*CFG)
 	}
 	if c, ok := ctx.cfgs[body]; ok {
 		return c
 	}
-	c := buildCFG(pkg, name, body)
+	c := buildCFG(pkg, name, body, ctx.Summaries)
 	ctx.cfgs[body] = c
 	return c
 }

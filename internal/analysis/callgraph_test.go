@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseCallGraph type-checks a dependency-free snippet and builds the call
+// graph over its declarations, the same way buildSummaries does for a load.
+func parseCallGraph(t *testing.T, src string) *CallGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "callgraph_test.go", "package p\n"+src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	pkg := &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	var decls []declSite
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		key := funcKey(fn)
+		if key == "" {
+			continue
+		}
+		decls = append(decls, declSite{pkg, fd, fn, key})
+	}
+	return buildCallGraph(decls)
+}
+
+func TestCallGraphDirectAndMethodCalls(t *testing.T) {
+	g := parseCallGraph(t, `
+type C struct{}
+func (c *C) Close() {}
+func helper() {}
+func caller(c *C) {
+	helper()
+	c.Close()
+}
+`)
+	if !g.Calls("p.caller", "p.helper") {
+		t.Errorf("missing direct call edge p.caller -> p.helper")
+	}
+	if !g.Calls("p.caller", "(p.C).Close") {
+		t.Errorf("missing method call edge p.caller -> (p.C).Close")
+	}
+	if g.Calls("p.helper", "p.caller") {
+		t.Errorf("unexpected reverse edge p.helper -> p.caller")
+	}
+}
+
+func TestCallGraphMethodAndFunctionValues(t *testing.T) {
+	// Values escape into variables/arguments: the edge is added where the
+	// value is taken, since the eventual call site is untrackable.
+	g := parseCallGraph(t, `
+type C struct{}
+func (c *C) Ping() {}
+func run(f func()) { f() }
+func taker(c *C) {
+	f := c.Ping // method value
+	_ = f
+	run(freeFn) // function value as argument
+}
+func freeFn() {}
+`)
+	if !g.Calls("p.taker", "(p.C).Ping") {
+		t.Errorf("missing method-value edge p.taker -> (p.C).Ping")
+	}
+	if !g.Calls("p.taker", "p.freeFn") {
+		t.Errorf("missing function-value edge p.taker -> p.freeFn")
+	}
+	// run receives an opaque func parameter; calling it resolves to no key.
+	if n := g.Nodes["p.run"]; n != nil {
+		for callee := range n.Callees {
+			t.Errorf("p.run should have no callees, got %s", callee)
+		}
+	}
+}
+
+func TestCallGraphFuncLits(t *testing.T) {
+	// Literals are numbered in preorder across the declaration (matching
+	// funcBodies) and attributed to their creator — including a literal
+	// created inside another literal.
+	g := parseCallGraph(t, `
+func leaf() {}
+func spawner() {
+	go func() { // spawner$1
+		leaf()
+		defer func() { // spawner$2, created by $1
+			leaf()
+		}()
+	}()
+}
+`)
+	if !g.Calls("p.spawner", "p.spawner$1") {
+		t.Errorf("missing creator edge p.spawner -> p.spawner$1")
+	}
+	if !g.Calls("p.spawner$1", "p.leaf") {
+		t.Errorf("missing edge p.spawner$1 -> p.leaf")
+	}
+	if !g.Calls("p.spawner$1", "p.spawner$2") {
+		t.Errorf("nested literal must be attributed to its creator $1")
+	}
+	if !g.Calls("p.spawner$2", "p.leaf") {
+		t.Errorf("missing edge p.spawner$2 -> p.leaf")
+	}
+	if g.Calls("p.spawner", "p.spawner$2") {
+		t.Errorf("p.spawner must not own the nested literal directly")
+	}
+	for _, key := range []string{"p.spawner$1", "p.spawner$2"} {
+		if n := g.Nodes[key]; n == nil || !n.HasBody {
+			t.Errorf("%s should be a HasBody node", key)
+		}
+	}
+}
+
+func TestCallGraphInterfaceDispatchFallback(t *testing.T) {
+	// Interface dispatch is NOT devirtualized (the documented soundness
+	// choice): the call resolves to the interface method's own key, a node
+	// without a body, never to a concrete implementation.
+	g := parseCallGraph(t, `
+type Closer interface{ Close() }
+type File struct{}
+func (f *File) Close() {}
+func shutdown(c Closer) {
+	c.Close()
+}
+`)
+	if !g.Calls("p.shutdown", "(p.Closer).Close") {
+		t.Errorf("interface call should resolve to the interface method key")
+	}
+	if g.Calls("p.shutdown", "(p.File).Close") {
+		t.Errorf("interface call must not be devirtualized to (p.File).Close")
+	}
+	if n := g.Nodes["(p.Closer).Close"]; n == nil || n.HasBody {
+		t.Errorf("interface method node should exist and have no body")
+	}
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	// ping/pong are mutually recursive: one two-member component, ordered
+	// after the leaf they call and before their caller (callees first).
+	g := parseCallGraph(t, `
+func leaf() {}
+func ping(n int) {
+	leaf()
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+func pong(n int) { ping(n) }
+func top() { ping(3) }
+func self() { self() }
+`)
+	pos := make(map[string]int)
+	var recursive [][]string
+	for i, comp := range g.SCCs {
+		for _, k := range comp {
+			pos[k] = i
+		}
+		if sccIsRecursive(g, comp) {
+			recursive = append(recursive, comp)
+		}
+	}
+	if pos["p.ping"] != pos["p.pong"] {
+		t.Errorf("mutual recursion must share one SCC: ping at %d, pong at %d", pos["p.ping"], pos["p.pong"])
+	}
+	if !(pos["p.leaf"] < pos["p.ping"]) {
+		t.Errorf("callee p.leaf (%d) must precede the ping/pong component (%d)", pos["p.leaf"], pos["p.ping"])
+	}
+	if !(pos["p.ping"] < pos["p.top"]) {
+		t.Errorf("ping/pong component (%d) must precede caller p.top (%d)", pos["p.ping"], pos["p.top"])
+	}
+	wantRecursive := map[string]bool{"p.ping": true, "p.pong": true, "p.self": true}
+	gotRecursive := make(map[string]bool)
+	for _, comp := range recursive {
+		for _, k := range comp {
+			gotRecursive[k] = true
+		}
+	}
+	for k := range wantRecursive {
+		if !gotRecursive[k] {
+			t.Errorf("%s should be in a recursive component", k)
+		}
+	}
+	if gotRecursive["p.top"] || gotRecursive["p.leaf"] {
+		t.Errorf("non-recursive functions must not need fixpoint iteration: %v", recursive)
+	}
+}

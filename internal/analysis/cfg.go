@@ -60,11 +60,15 @@ type Edge struct {
 }
 
 // buildCFG lowers a function body. name is used for diagnostics only.
-func buildCFG(pkg *Package, name string, body *ast.BlockStmt) *CFG {
+// summaries (nil-tolerant) supplies derived noReturn facts so calls to
+// repository-local terminators (cliutil.Fatalf and friends) end paths the
+// way os.Exit does.
+func buildCFG(pkg *Package, name string, body *ast.BlockStmt, summaries summaryTable) *CFG {
 	b := &cfgBuilder{
-		pkg:    pkg,
-		cfg:    &CFG{Name: name, End: body.End()},
-		labels: make(map[string]*Block),
+		pkg:       pkg,
+		summaries: summaries,
+		cfg:       &CFG{Name: name, End: body.End()},
+		labels:    make(map[string]*Block),
 	}
 	b.cfg.Exit = &Block{Index: -1}
 	b.cur = b.newBlock()
@@ -96,12 +100,16 @@ type pendingGoto struct {
 }
 
 type cfgBuilder struct {
-	pkg    *Package
-	cfg    *CFG
-	cur    *Block // nil while the current point is unreachable
-	frames []frame
-	labels map[string]*Block
-	gotos  []pendingGoto
+	pkg *Package
+	// summaries supplies derived noReturn facts during path termination;
+	// nil (hermetic tests, pre-summary construction) degrades to the
+	// stdlib-only terminator set.
+	summaries summaryTable
+	cfg       *CFG
+	cur       *Block // nil while the current point is unreachable
+	frames    []frame
+	labels    map[string]*Block
+	gotos     []pendingGoto
 	// nextLabel holds a label to attach to the next loop/switch frame.
 	nextLabel string
 }
@@ -167,7 +175,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.branchStmt(s)
 	default:
 		b.emit(s)
-		if terminatesPath(b.pkg, s) {
+		if terminatesPath(b.pkg, b.summaries, s) {
 			b.cur = nil // panic/os.Exit/t.Fatal: path ends, never reaches exit
 		}
 	}
@@ -385,10 +393,11 @@ func (b *cfgBuilder) resolveGotos() {
 }
 
 // terminatesPath reports whether the statement unconditionally ends the
-// path without reaching the function exit: panic, os.Exit, log.Fatal*, and
-// the testing Fatal/FailNow/Skip family. Resources held on such paths are
-// not reported as leaks (the process or test is over).
-func terminatesPath(pkg *Package, s ast.Stmt) bool {
+// path without reaching the function exit: panic, os.Exit, log.Fatal*, the
+// testing Fatal/FailNow/Skip family, and any function whose derived
+// summary says it never returns (interproc.go). Resources held on such
+// paths are not reported as leaks (the process or test is over).
+func terminatesPath(pkg *Package, t summaryTable, s ast.Stmt) bool {
 	es, ok := s.(*ast.ExprStmt)
 	if !ok {
 		return false
@@ -419,7 +428,59 @@ func terminatesPath(pkg *Package, s ast.Stmt) bool {
 			return true
 		}
 	}
+	if sum := t.of(fn); sum != nil && sum.noReturn {
+		return true
+	}
 	return false
+}
+
+// neverReturnsStmts reports whether the statement list provably cannot
+// complete normally or return: some statement in sequence terminates every
+// path, and no earlier statement can escape the function or jump away.
+// This is the derivation behind funcSummary.noReturn; it deliberately
+// under-approximates (an infinite loop "never returns" too, but is not
+// claimed) so a wrong noReturn fact can never erase a live path.
+func neverReturnsStmts(pkg *Package, t summaryTable, list []ast.Stmt) bool {
+	for _, s := range list {
+		if stmtNeverReturns(pkg, t, s) {
+			return true
+		}
+		if mayEscape(s) {
+			return false
+		}
+	}
+	return false
+}
+
+func stmtNeverReturns(pkg *Package, t summaryTable, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return terminatesPath(pkg, t, s)
+	case *ast.BlockStmt:
+		return neverReturnsStmts(pkg, t, s.List)
+	case *ast.IfStmt:
+		return s.Else != nil &&
+			stmtNeverReturns(pkg, t, s.Body) &&
+			stmtNeverReturns(pkg, t, s.Else)
+	}
+	return false
+}
+
+// mayEscape reports whether the statement contains a return, break,
+// continue or goto outside nested function literals — anything that could
+// leave the enclosing sequence by a route neverReturnsStmts does not model.
+func mayEscape(s ast.Stmt) bool {
+	escape := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			escape = true
+		}
+		return !escape
+	})
+	return escape
 }
 
 // funcBodies yields every function body in the package — declarations and

@@ -33,7 +33,7 @@ func parseCFG(t *testing.T, src, fn string) *CFG {
 	pkg := &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
 	for _, decl := range file.Decls {
 		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn && fd.Body != nil {
-			return buildCFG(pkg, fn, fd.Body)
+			return buildCFG(pkg, fn, fd.Body, nil)
 		}
 	}
 	t.Fatalf("function %q not found", fn)

@@ -31,10 +31,10 @@ var CtxDeadline = &Pass{
 
 // ctxlessDialKeys are dials that can block without any cancellation handle.
 var ctxlessDialKeys = map[string]bool{
-	"net.Dial":                true,
-	"net.DialTimeout":         false, // carries its own bound
-	"crypto/tls.Dial":         true,
-	"(net.Dialer).Dial":       true,
+	"net.Dial":                 true,
+	"net.DialTimeout":          false, // carries its own bound
+	"crypto/tls.Dial":          true,
+	"(net.Dialer).Dial":        true,
 	"(crypto/tls.Dialer).Dial": true,
 }
 

@@ -34,6 +34,13 @@ type fact struct {
 	// stale pairing would prune facts on branches of an unrelated call.
 	err     types.Object
 	errLive errSense
+	// mayNil inverts the edge-refinement sense for the fact's own variable:
+	// the tracked state is "may be nil", so the fact dies where the variable
+	// is proven non-nil and survives where it compares equal to nil —
+	// exactly opposite to a resource obligation, which dies on nil (a nil
+	// conn needs no Close). Set only by the nilness pass; a pass never mixes
+	// mayNil and obligation facts in one flow.
+	mayNil bool
 }
 
 type errSense uint8
@@ -216,10 +223,11 @@ func refineCond(pkg *Package, cond ast.Expr, val bool, fs factSet) {
 }
 
 // refineNilFact applies the knowledge "obj ==/!= nil" to the set: facts on
-// obj itself die when obj is nil (a nil conn needs no Close), and facts
-// paired with obj as their error die per their errLive sense.
+// obj itself die when obj is nil (a nil conn needs no Close) — or, for
+// mayNil facts, when obj is proven non-nil — and facts paired with obj as
+// their error die per their errLive sense.
 func refineNilFact(fs factSet, obj types.Object, objIsNil bool) {
-	if objIsNil {
+	if f, tracked := fs[obj]; tracked && objIsNil != f.mayNil {
 		delete(fs, obj)
 	}
 	for k, f := range fs {

@@ -18,6 +18,7 @@ var fixtures = []string{
 	"weakrand", "secretflow", "consttime", "rawverify", "errwrap", "pragma",
 	"connleak", "zeroize", "ctxdeadline", "deferclose",
 	"lockcheck", "guardedby", "goroleak",
+	"retrysafe", "wgbalance", "verdict", "nilness",
 }
 
 func TestGolden(t *testing.T) {

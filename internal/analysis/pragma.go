@@ -20,6 +20,9 @@ const (
 	allowPrefix  = "//myproxy:allow"
 	// secretMarker labels a named type as secret-bearing (see secret.go).
 	secretMarker = "//myproxy:secret"
+	// verdictMarker labels a named type as a protocol verdict whose
+	// constants must be handled exhaustively (see verdict.go).
+	verdictMarker = "//myproxy:verdict"
 )
 
 // allowance is one parsed //myproxy:allow pragma.
@@ -51,6 +54,9 @@ func collectPragmas(pkgs []*Package, knownPasses map[string]bool) (pragmaIndex, 
 					}
 					if text == secretMarker {
 						continue // handled by secret.go
+					}
+					if text == verdictMarker {
+						continue // handled by verdict.go
 					}
 					if strings.HasPrefix(text, guardedbyMarker) {
 						continue // parsed (and validated) by guardedby.go
@@ -124,12 +130,18 @@ func (idx pragmaIndex) suppressed(d Diagnostic) bool {
 // //myproxy:secret marker in its doc comment (either on the GenDecl or the
 // TypeSpec).
 func typeDocHasMarker(docs ...*ast.CommentGroup) bool {
+	return docHasMarker(secretMarker, docs...)
+}
+
+// docHasMarker reports whether any of the doc comments carries the given
+// standalone marker line.
+func docHasMarker(marker string, docs ...*ast.CommentGroup) bool {
 	for _, doc := range docs {
 		if doc == nil {
 			continue
 		}
 		for _, c := range doc.List {
-			if strings.TrimSpace(c.Text) == secretMarker {
+			if strings.TrimSpace(c.Text) == marker {
 				return true
 			}
 		}

@@ -47,6 +47,13 @@ type funcSummary struct {
 	freshConn    bool
 	armsResult   bool
 	secretResult bool
+	// noReturn: every execution path reaches a terminating call (panic,
+	// os.Exit, a noReturn callee) before any statement that could leave
+	// the function normally. The CFG builder ends paths at calls to such
+	// functions exactly as it does for os.Exit, so `if err != nil {
+	// cliutil.Fatalf(...) }` kills the error path's facts even though the
+	// branch has no return.
+	noReturn bool
 	// wipes, closes, leakOnError are keyed by parameter index (variadic
 	// parameters use their declared index).
 	wipes       map[int]bool
@@ -64,6 +71,11 @@ type funcSummary struct {
 	// lock is needed. Propagated to a fixpoint through same-receiver helper
 	// calls (see computeLockSummaries).
 	requiresLock map[string]bool
+	// retryMarks records the retry-safe-ambiguity constructions reachable
+	// from this function whose op name or safety gate is one of its own
+	// parameters; the retrysafe pass resolves them against call-site
+	// constants (see retrysafe.go and interproc.go).
+	retryMarks []retryMark
 }
 
 func (s *funcSummary) wipesParam(i int) bool  { return s != nil && s.wipes[i] }
@@ -140,7 +152,9 @@ func seedSummaries() summaryTable {
 }
 
 // declSite is one function declaration of the load, with everything the
-// summary stages (and the goroleak pass, via Context.FuncDecls) need.
+// summary stages (and the goroleak pass, via Context.FuncDecls) need. The
+// interprocedural driver that orders and iterates the stages lives in
+// interproc.go.
 type declSite struct {
 	pkg *Package
 	fd  *ast.FuncDecl
@@ -148,107 +162,12 @@ type declSite struct {
 	key string
 }
 
-// buildSummaries computes the table for one load.
-func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
-	t := seedSummaries()
-
-	var decls []declSite
-	ctx.FuncDecls = make(map[string]declSite)
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				key := funcKey(fn)
-				if key == "" {
-					continue
-				}
-				decls = append(decls, declSite{pkg, fd, fn, key})
-				ctx.FuncDecls[key] = declSite{pkg, fd, fn, key}
-			}
-		}
-	}
-
-	// secretResult from //myproxy:secret doc markers on functions with
-	// byte-slice results, plus armsResult from deadline-arming bodies.
-	for _, d := range decls {
-		if typeDocHasMarker(d.fd.Doc) && hasByteSliceResult(d.fn) {
-			t.get(d.key).secretResult = true
-		}
-		if armsDeadline(d.pkg, d.fd.Body) {
-			t.get(d.key).armsResult = true
-		}
-	}
-
-	// wipesParam: direct zeroing first, then propagate through one-hop
-	// forwarding wrappers until stable.
-	for changed := true; changed; {
-		changed = false
-		for _, d := range decls {
-			params := d.fn.Type().(*types.Signature).Params()
-			for i := 0; i < params.Len(); i++ {
-				p := params.At(i)
-				if !isByteSlice(p.Type()) || t.get(d.key).wipes[i] {
-					continue
-				}
-				if bodyWipes(d.pkg, t, d.fd.Body, p) {
-					s := t.get(d.key)
-					if s.wipes == nil {
-						s.wipes = make(map[int]bool)
-					}
-					s.wipes[i] = true
-					changed = true
-				}
-			}
-		}
-	}
-
-	// acquiresConn/acquiresWritable/freshConn: return statements handing
-	// back the result of an acquirer (or a newly built conn), directly or
-	// via a local; fixpoint so chains of wrappers are covered.
-	for changed := true; changed; {
-		changed = false
-		for _, d := range decls {
-			s := t.get(d.key)
-			conn, writable, fresh := returnsAcquired(d.pkg, t, d.fd.Body)
-			if conn && !s.acquiresConn {
-				s.acquiresConn = true
-				changed = true
-			}
-			if writable && !s.acquiresWritable {
-				s.acquiresWritable = true
-				changed = true
-			}
-			if fresh && !s.freshConn {
-				s.freshConn = true
-				changed = true
-			}
-		}
-	}
-
-	// closesParam/leakOnError: run the engine per closer-typed parameter.
-	// Two rounds so a caller of a closing helper sees the helper's summary.
-	for round := 0; round < 2; round++ {
-		for _, d := range decls {
-			computeParamFates(ctx, d.pkg, t, d.key, d.fn, d.fd.Body)
-		}
-	}
-
-	// locksFields/requiresLock: the concurrency-safety facts (lockcheck and
-	// guardedby consume them; see lock.go and guardedby.go).
-	computeLockSummaries(ctx, t, decls)
-	return t
-}
-
 // computeParamFates seeds each closer-typed parameter "open" and checks
-// whether some path reaches a return with it still open.
-func computeParamFates(ctx *Context, pkg *Package, t summaryTable, key string, fn *types.Func, body *ast.BlockStmt) {
+// whether some path reaches a return with it still open, reporting whether
+// any fate changed. A fate can flip leakOnError→closesParam inside a
+// recursive component, as the callees' close summaries grow toward the
+// fixpoint.
+func computeParamFates(ctx *Context, pkg *Package, t summaryTable, key string, fn *types.Func, body *ast.BlockStmt) bool {
 	sig := fn.Type().(*types.Signature)
 	params := sig.Params()
 	var closerIdx []int
@@ -258,8 +177,9 @@ func computeParamFates(ctx *Context, pkg *Package, t summaryTable, key string, f
 		}
 	}
 	if len(closerIdx) == 0 {
-		return
+		return false
 	}
+	changed := false
 	cfg := ctx.cfgOf(pkg, key, body)
 	for _, i := range closerIdx {
 		p := params.At(i)
@@ -284,18 +204,24 @@ func computeParamFates(ctx *Context, pkg *Package, t summaryTable, key string, f
 			},
 		})
 		s := t.get(key)
+		if s.leakOnError[i] != leaked || s.closes[i] != !leaked {
+			changed = true
+		}
 		if leaked {
 			if s.leakOnError == nil {
 				s.leakOnError = make(map[int]bool)
 			}
 			s.leakOnError[i] = true
+			delete(s.closes, i)
 		} else {
 			if s.closes == nil {
 				s.closes = make(map[int]bool)
 			}
 			s.closes[i] = true
+			delete(s.leakOnError, i)
 		}
 	}
+	return changed
 }
 
 // summaryFlowTransfer is the coarse transfer used while computing parameter

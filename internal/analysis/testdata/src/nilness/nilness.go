@@ -1,0 +1,138 @@
+// Package nilness exercises the nilness pass: dereferencing a call result
+// before its error is checked, explicit nil assignments, and the guards
+// that keep correct code quiet (err checks, nil checks, short-circuit).
+package nilness
+
+import "errors"
+
+type response struct {
+	body []byte
+	code int
+}
+
+var errBoom = errors.New("boom")
+
+func fetch(ok bool) (*response, error) {
+	if !ok {
+		return nil, errBoom
+	}
+	return &response{code: 200}, nil
+}
+
+// derefBeforeCheck reads the result before testing the error — panics on
+// the failure path.
+func derefBeforeCheck() int {
+	r, err := fetch(false)
+	n := r.code
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// checkedFirst is clean: the err != nil return kills the fact.
+func checkedFirst() int {
+	r, err := fetch(true)
+	if err != nil {
+		return -1
+	}
+	return r.code
+}
+
+// nilGuard is clean: the explicit nil check is as good as the err check.
+func nilGuard() int {
+	r, err := fetch(true)
+	_ = err
+	if r == nil {
+		return -1
+	}
+	return r.code
+}
+
+// shortCircuit is clean: the guard and the deref share one condition.
+func shortCircuit() bool {
+	r, err := fetch(true)
+	_ = err
+	return r != nil && r.code == 200
+}
+
+// assignedNil dereferences a variable explicitly set to nil.
+func assignedNil() int {
+	r := &response{code: 1}
+	r = nil
+	return r.code
+}
+
+// errDiscarded is not tracked (documented limit): with the error thrown
+// away there is no err edge to refine on.
+func errDiscarded() int {
+	r, _ := fetch(true)
+	return r.code
+}
+
+// posGuard is clean: the deref sits inside the err == nil branch, and the
+// function falls off the end without a return. (Regression: the
+// end-of-function marker node used to replay the whole body against the
+// merged end-of-function facts, resurrecting the guarded deref.)
+func posGuard() {
+	r, err := fetch(true)
+	if err == nil {
+		_ = r.code
+	}
+}
+
+// loopContinue is clean: the error path continues, the deref runs only on
+// the checked path. (Regression: the RangeStmt marker node used to replay
+// the loop body against the loop-head facts, where the continue back-edge
+// keeps the fact alive.)
+func loopContinue(items map[string]bool) int {
+	n := 0
+	for name := range items {
+		r, err := fetch(len(name) > 0)
+		if err != nil {
+			continue
+		}
+		n += r.code
+	}
+	return n
+}
+
+// fatalf never returns; the noReturn summary is derived from its body, so
+// the CFG ends paths at its call sites like it does for os.Exit.
+func fatalf(msg string) {
+	println(msg)
+	panic(msg)
+}
+
+// guardedByFatalf is clean: the error branch terminates the process even
+// though it has no return statement. (Regression for the derived noReturn
+// summary — the cmd/ binaries guard exactly this way via cliutil.Fatalf.)
+func guardedByFatalf() int {
+	r, err := fetch(true)
+	if err != nil {
+		fatalf("fetch failed")
+	}
+	return r.code
+}
+
+// sealer is deliberately lowercase-close so the closer passes stay out of
+// this fixture.
+type sealer interface{ seal() []byte }
+
+func openSealer(ok bool) (sealer, error) {
+	if !ok {
+		return nil, errBoom
+	}
+	return nil, nil
+}
+
+// ifaceBeforeCheck calls through a possibly-nil interface before checking
+// the error.
+func ifaceBeforeCheck() []byte {
+	s, err := openSealer(false)
+	b := s.seal()
+	if err != nil {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+// Package retrysafe exercises the retrysafe pass: retry-safe ambiguity
+// markings must name a provably idempotent operation. The carrier structs
+// mirror resilience.AmbiguousError and cluster.QuorumOutcome; the wrappers
+// mirror resilience.AmbiguousRetryable and cluster.Router.Write, so the
+// interprocedural marks are derived exactly as they are in the real code.
+package retrysafe
+
+import "errors"
+
+// AmbiguousError mirrors resilience.AmbiguousError — the ambiguity-carrier
+// shape (Op string + RetrySafe bool) the pass recognizes structurally.
+type AmbiguousError struct {
+	Op        string
+	Err       error
+	RetrySafe bool
+}
+
+func (e *AmbiguousError) Error() string { return e.Op }
+
+// ambiguousRetryable marks the ambiguity retry-safe for op; the summary
+// sweep derives the mark {op from param 0, unconditionally safe}.
+func ambiguousRetryable(op string, err error) error {
+	return &AmbiguousError{Op: op, Err: err, RetrySafe: true}
+}
+
+// ambiguous never marks retry-safe: call sites are clean whatever the op.
+func ambiguous(op string, err error) error {
+	return &AmbiguousError{Op: op, Err: err}
+}
+
+// outcome mirrors cluster.QuorumOutcome.
+type outcome struct {
+	Op        string
+	Need      int
+	RetrySafe bool
+}
+
+// write mirrors Router.Write: op name and safety gate are parameters, so
+// the derived mark checks every call site.
+func write(key, op string, retrySafe bool) *outcome {
+	_ = key
+	return &outcome{Op: op, Need: 2, RetrySafe: retrySafe}
+}
+
+// writeVia adds a wrapper hop; the mark must propagate through it.
+func writeVia(op string, retrySafe bool) *outcome {
+	return write("k", op, retrySafe)
+}
+
+var errNet = errors.New("connection reset")
+
+// destroyDirect retries a DESTROY-shaped ambiguity: the seeded replay bug.
+func destroyDirect() error {
+	return ambiguousRetryable("DESTROY", errNet)
+}
+
+// changePassphrase marks the other replay-unsafe op through the quorum
+// wrapper.
+func changePassphrase() *outcome {
+	return write("u", "CHANGE_PASSPHRASE", true)
+}
+
+// destroyViaWrapper needs two interprocedural hops to resolve.
+func destroyViaWrapper() *outcome {
+	return writeVia("DESTROY", true)
+}
+
+// putIsFine: PUT is registered idempotent.
+func putIsFine() *outcome {
+	return write("u", "PUT", true)
+}
+
+// destroyUnsafeGate: the gate is false, so no retry ever happens.
+func destroyUnsafeGate() *outcome {
+	return write("u", "DESTROY", false)
+}
+
+// unknownOp is marked safe but not in the idempotent registry.
+func unknownOp() error {
+	return ambiguousRetryable("COMPACT", errNet)
+}
+
+// literalSite constructs the unsafe marking directly.
+func literalSite() error {
+	return &AmbiguousError{Op: "DESTROY", Err: errNet, RetrySafe: true}
+}
+
+// destroyNotMarked never marks retry-safe: clean.
+func destroyNotMarked() error {
+	return ambiguous("DESTROY", errNet)
+}

@@ -1,0 +1,114 @@
+// Package verdict exercises the verdict pass: switches and if-chains over a
+// //myproxy:verdict-marked type must cover every declared constant or carry
+// a default / final else.
+package verdict
+
+// code mirrors protocol.ResponseCode.
+//
+//myproxy:verdict
+type code int
+
+const (
+	respOK code = iota
+	respError
+	respAuthRequired
+)
+
+// switchIncomplete misses respAuthRequired and has no default.
+func switchIncomplete(c code) string {
+	switch c {
+	case respOK:
+		return "ok"
+	case respError:
+		return "error"
+	}
+	return "?"
+}
+
+// switchWithDefault is clean: the default is the fallback.
+func switchWithDefault(c code) string {
+	switch c {
+	case respOK:
+		return "ok"
+	default:
+		return "other"
+	}
+}
+
+// switchComplete is clean: every code handled.
+func switchComplete(c code) string {
+	switch c {
+	case respOK:
+		return "ok"
+	case respError:
+		return "error"
+	case respAuthRequired:
+		return "auth"
+	}
+	return "?"
+}
+
+// chainIncomplete tests two codes with no final else.
+func chainIncomplete(c code) string {
+	if c == respOK {
+		return "ok"
+	} else if c == respError {
+		return "error"
+	}
+	return "?"
+}
+
+// chainWithElse is clean: the final else is the fallback.
+func chainWithElse(c code) string {
+	if c == respOK {
+		return "ok"
+	} else if c == respError {
+		return "error"
+	} else {
+		return "other"
+	}
+}
+
+// chainOr: `||` counts both tests, still missing respAuthRequired.
+func chainOr(c code) string {
+	if c == respOK || c == respError {
+		return "done"
+	}
+	return "?"
+}
+
+// chainComplete is clean: all three codes tested.
+func chainComplete(c code) string {
+	if c == respOK {
+		return "ok"
+	} else if c == respError {
+		return "error"
+	} else if c == respAuthRequired {
+		return "auth"
+	}
+	return "?"
+}
+
+// singleIf is clean: one equality is a boolean check, not a dispatch.
+func singleIf(c code) string {
+	if c == respOK {
+		return "ok"
+	}
+	return "?"
+}
+
+// plain is an unmarked type: never checked.
+type plain int
+
+const (
+	pA plain = iota
+	pB
+)
+
+func unmarked(p plain) string {
+	switch p {
+	case pA:
+		return "a"
+	}
+	return "?"
+}

@@ -1,0 +1,164 @@
+// Package wgbalance exercises the wgbalance pass: WaitGroup and
+// result-channel accounting across the paths of spawned goroutines, and the
+// unbuffered-fan-out rule aimed at quorum collectors.
+package wgbalance
+
+import (
+	"context"
+	"sync"
+)
+
+// addInsideWorker: Add in the goroutine races the spawner's Wait.
+func addInsideWorker(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneSkippedOnError: the early return skips Done, so Wait hangs.
+func doneSkippedOnError(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if !ok {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// doneDeferred is clean: the defer covers every path.
+func doneDeferred(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if !ok {
+			return
+		}
+		_ = ok
+	}()
+	wg.Wait()
+}
+
+// doneTwice: the explicit Done plus the deferred one panics the WaitGroup.
+func doneTwice() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// sendSkippedOnError: the collector's receive blocks forever when the
+// worker errors out without sending.
+func sendSkippedOnError(work func() (int, error)) int {
+	results := make(chan int, 1)
+	go func() {
+		v, err := work()
+		if err != nil {
+			return
+		}
+		results <- v
+	}()
+	return <-results
+}
+
+// sendOnAllPaths is clean: failure sends the zero value.
+func sendOnAllPaths(work func() (int, error)) int {
+	results := make(chan int, 1)
+	go func() {
+		v, err := work()
+		if err != nil {
+			results <- 0
+			return
+		}
+		results <- v
+	}()
+	return <-results
+}
+
+// sendViaSelect is clean: the context arm is the escape hatch.
+func sendViaSelect(ctx context.Context, work func() int) int {
+	results := make(chan int, 1)
+	go func() {
+		select {
+		case results <- work():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-results:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// quorumUnbuffered: loop-spawned senders on an unbuffered channel, received
+// by a counted loop that stops at quorum — the losers block forever.
+func quorumUnbuffered(replicas []func() error, need int) int {
+	acks := make(chan error)
+	for _, r := range replicas {
+		r := r
+		go func() {
+			acks <- r()
+		}()
+	}
+	got := 0
+	for i := 0; i < need; i++ {
+		if <-acks == nil {
+			got++
+		}
+	}
+	return got
+}
+
+// quorumBuffered is the fix: stragglers deposit into the buffer and exit.
+func quorumBuffered(replicas []func() error, need int) int {
+	acks := make(chan error, len(replicas))
+	for _, r := range replicas {
+		r := r
+		go func() {
+			acks <- r()
+		}()
+	}
+	got := 0
+	for i := 0; i < need; i++ {
+		if <-acks == nil {
+			got++
+		}
+	}
+	return got
+}
+
+// drainByRange is clean: range-over-channel implies close-after-drain.
+func drainByRange(jobs []int) int {
+	out := make(chan int)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- j * 2
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}

@@ -117,7 +117,13 @@ type Request struct {
 	Renewal bool
 }
 
-// ResponseCode mirrors the C implementation's RESPONSE values.
+// ResponseCode mirrors the C implementation's RESPONSE values. The verdict
+// marker makes myproxy-vet require every switch or if-chain dispatching on
+// a ResponseCode to handle all declared codes or carry an explicit default:
+// a new verdict must never be silently treated as a transport fault (and,
+// in the cluster client, wrongly failed over to another replica).
+//
+//myproxy:verdict
 type ResponseCode int
 
 const (
