@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-self vet-stats lint test race race-hotpath race-failover check bench clean
+.PHONY: all build vet vet-self vet-stats lint test race race-hotpath race-failover check bench bench-compare clean
 
 all: build
 
@@ -60,6 +60,12 @@ check: vet lint build race-hotpath race-failover race
 # Short benchmark smoke pass (full runs are driven by cmd/experiments).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-compare diffs the two most recent BENCH_<n>.json trajectory
+# points and fails on any shared benchmark regressing >10% in ns/op
+# (scripts/bench-compare.sh; scripts/bench.sh produces the points).
+bench-compare:
+	sh scripts/bench-compare.sh
 
 clean:
 	$(GO) clean ./...

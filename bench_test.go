@@ -104,6 +104,60 @@ func BenchmarkFig2GetDelegation(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2Algorithms sweeps the delegation key algorithm through the
+// Fig. 2 exchange. RSA is the paper-fidelity baseline; the curve entries
+// show the hot path with key generation taken off the critical path twice
+// over (pool + cheap keygen).
+func BenchmarkFig2Algorithms(b *testing.B) {
+	for _, alg := range pki.KeyAlgorithms() {
+		b.Run("alg="+alg.String(), func(b *testing.B) {
+			d := newWarmDeployment(b, sim.Config{Users: 1, Portals: 1, KeyAlgorithm: alg})
+			seed(b, d)
+			ctx := context.Background()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Get(ctx, 0, 0, 0, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2Multiplexed measures the Fig. 2 exchange over an open
+// multiplexed session: the TCP+TLS handshake is paid once outside the
+// timer, so each iteration is one stream carrying request + delegation.
+// This is the repeat-visit cost for a portal holding a session open —
+// the number the session mode exists to shrink.
+func BenchmarkFig2Multiplexed(b *testing.B) {
+	for _, alg := range pki.KeyAlgorithms() {
+		b.Run("alg="+alg.String(), func(b *testing.B) {
+			d := newWarmDeployment(b, sim.Config{Users: 1, Portals: 1, KeyAlgorithm: alg})
+			seed(b, d)
+			ctx := context.Background()
+			sess, err := d.PortalClient(0, 0).NewSession(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			if !sess.Multiplexed() {
+				b.Fatal("server declined session mode")
+			}
+			opts := core.GetOptions{
+				Username: d.UserNames[0], Passphrase: d.Passphrase, Lifetime: time.Hour,
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Get(ctx, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig3PortalFlow measures a complete browser session: HTTPS login
 // (which performs Fig. 2 inside the portal), one job submission, logout
 // (paper Figure 3 / E3).
@@ -116,7 +170,7 @@ func BenchmarkFig3PortalFlow(b *testing.B) {
 		MyProxyAddr:     d.RepoAddrs[0],
 		ExpectedMyProxy: "/C=US/O=Sim Grid/CN=myproxy*",
 		GRAMAddr:        d.GRAMAddr,
-		KeyBits:         1024,
+		KeyBits:         pki.DemoKeyBits,
 		KeySource:       d.Keys(),
 	})
 	if err != nil {
@@ -243,9 +297,9 @@ func BenchmarkPortalDay(b *testing.B) {
 
 // BenchmarkCredstoreSealUnseal sweeps the sealing KDF cost — the
 // brute-force defense of paper §5.1 (E5). One iteration = one seal + one
-// unseal of a 1024-bit key.
+// unseal of a demo-sized RSA key.
 func BenchmarkCredstoreSealUnseal(b *testing.B) {
-	key, err := pki.GenerateKey(1024)
+	key, err := pki.GenerateKey(pki.DemoKeyBits)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -281,7 +335,7 @@ func BenchmarkDelegationChain(b *testing.B) {
 		cred := d.Users[0]
 		for depth := 1; depth <= 6; depth++ {
 			var err error
-			cred, err = proxy.New(cred, proxy.Options{Type: style.typ, Lifetime: time.Hour, KeyBits: 1024})
+			cred, err = proxy.New(cred, proxy.Options{Type: style.typ, Lifetime: time.Hour, KeyBits: pki.DemoKeyBits})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -314,24 +368,30 @@ func BenchmarkDelegationChain(b *testing.B) {
 	}
 }
 
-// BenchmarkProxyCreate compares proxy minting across styles and key sizes
-// (ablation: legacy vs RFC 3820, 1024 vs 2048 bits; E8 substrate cost).
+// BenchmarkProxyCreate compares proxy minting across styles, key sizes, and
+// key algorithms (ablation: legacy vs RFC 3820, 1024 vs 2048 bits, RSA vs
+// the modern curves; E8 substrate cost). The curve entries show what
+// key-algorithm agility buys: RSA keygen dominates proxy minting, ECDSA and
+// Ed25519 make it disappear.
 func BenchmarkProxyCreate(b *testing.B) {
 	d := newDeployment(b, sim.Config{Users: 1})
 	for _, tc := range []struct {
 		name string
 		typ  proxy.Type
+		alg  pki.KeyAlgorithm
 		bits int
 	}{
-		{"legacy-1024", proxy.Legacy, 1024},
-		{"rfc3820-1024", proxy.RFC3820, 1024},
-		{"rfc3820-2048", proxy.RFC3820, 2048},
+		{"legacy-1024", proxy.Legacy, pki.AlgRSA, pki.DemoKeyBits},
+		{"rfc3820-1024", proxy.RFC3820, pki.AlgRSA, pki.DemoKeyBits},
+		{"rfc3820-2048", proxy.RFC3820, pki.AlgRSA, pki.DefaultKeyBits},
+		{"rfc3820-ecdsa-p256", proxy.RFC3820, pki.AlgECDSAP256, 0},
+		{"rfc3820-ed25519", proxy.RFC3820, pki.AlgEd25519, 0},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := proxy.New(d.Users[0], proxy.Options{
-					Type: tc.typ, Lifetime: time.Hour, KeyBits: tc.bits,
+					Type: tc.typ, Lifetime: time.Hour, KeyAlgorithm: tc.alg, KeyBits: tc.bits,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -345,14 +405,14 @@ func BenchmarkProxyCreate(b *testing.B) {
 // change the cost shape.
 func BenchmarkRestrictedVerify(b *testing.B) {
 	d := newDeployment(b, sim.Config{Users: 1})
-	full, err := proxy.New(d.Users[0], proxy.Options{Lifetime: time.Hour, KeyBits: 1024})
+	full, err := proxy.New(d.Users[0], proxy.Options{Lifetime: time.Hour, KeyBits: pki.DemoKeyBits})
 	if err != nil {
 		b.Fatal(err)
 	}
 	restricted, err := proxy.New(d.Users[0], proxy.Options{
 		Type:          proxy.RFC3820Restricted,
 		RestrictedOps: []string{proxy.OpFileRead, proxy.OpFileWrite},
-		Lifetime:      time.Hour, KeyBits: 1024,
+		Lifetime:      time.Hour, KeyBits: pki.DemoKeyBits,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -425,7 +485,7 @@ func BenchmarkRenewal(b *testing.B) {
 	}
 	client := &core.Client{
 		Credential: jobProxy, Roots: d.Roots, Addr: d.RepoAddrs[0],
-		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*", KeyBits: 1024,
+		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*", KeyBits: pki.DemoKeyBits,
 		KeySource: d.Keys(),
 	}
 	b.ResetTimer()
@@ -490,7 +550,7 @@ func BenchmarkWireDelegation(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gsi.RequestDelegation(cli, 1024, d.Roots); err != nil {
+		if _, err := gsi.RequestDelegation(cli, pki.KeySpec{Bits: pki.DemoKeyBits}, d.Roots); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -50,7 +50,11 @@ func main() {
 	}
 	fmt.Printf("type     : %s\n", desc)
 	fmt.Printf("depth    : %d\n", depth)
-	fmt.Printf("strength : %d bits\n", cred.PrivateKey.N.BitLen())
+	if spec, ok := pki.SpecOf(cred.Certificate.PublicKey); ok {
+		fmt.Printf("strength : %s\n", spec)
+	} else {
+		fmt.Printf("strength : unknown algorithm\n")
+	}
 	left := cred.TimeLeft()
 	if left <= 0 {
 		fmt.Printf("timeleft : EXPIRED (%s)\n", cred.Certificate.NotAfter.Format(time.RFC3339))

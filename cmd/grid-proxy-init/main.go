@@ -21,14 +21,19 @@ func main() {
 	credFile := flag.String("cred", "", "combined credential file (overrides -cert/-key)")
 	out := flag.String("out", cliutil.DefaultProxyPath(), "output proxy file")
 	hours := flag.Float64("hours", 12, "proxy lifetime in hours")
-	bits := flag.Int("bits", pki.DefaultKeyBits, "proxy key size")
+	bits := flag.Int("bits", pki.DefaultKeyBits, "proxy key size (RSA only)")
+	keyAlg := flag.String("key-alg", "rsa-2048", "proxy key algorithm (rsa-2048, ecdsa-p256, ed25519)")
 	limited := flag.Bool("limited", false, "create a limited proxy")
 	legacy := flag.Bool("legacy", false, "create a legacy (CN=proxy) style proxy instead of RFC 3820")
 	pathLen := flag.Int("pathlen", -1, "RFC 3820 path length constraint (-1 = unlimited)")
 	flag.Parse()
 
+	alg, err := pki.ParseKeyAlgorithm(*keyAlg)
+	if err != nil {
+		cliutil.Fatalf("grid-proxy-init: %v", err)
+	}
+
 	var cred *pki.Credential
-	var err error
 	if *credFile != "" {
 		cred, err = cliutil.LoadCredential(*credFile, "key pass phrase")
 	} else {
@@ -39,8 +44,9 @@ func main() {
 	}
 
 	opts := proxy.Options{
-		Lifetime: time.Duration(*hours * float64(time.Hour)),
-		KeyBits:  *bits,
+		Lifetime:     time.Duration(*hours * float64(time.Hour)),
+		KeyAlgorithm: alg,
+		KeyBits:      *bits,
 	}
 	switch {
 	case *legacy && *limited:

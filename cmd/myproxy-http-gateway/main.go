@@ -29,8 +29,14 @@ func main() {
 	retrieversFile := flag.String("retrievers", "", "authorized_retrievers ACL file; required")
 	maxDelegHours := flag.Int("max-proxy-hours", 12, "maximum delegated proxy lifetime")
 	kdfIter := flag.Int("kdf-iter", pki.DefaultKDFIterations, "PBKDF2 iterations for sealing")
-	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size (0 disables)")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background keypair pool size (0 disables)")
+	keyAlg := flag.String("key-alg", "rsa-2048", "key algorithm for server-generated keys (rsa-2048, ecdsa-p256, ed25519)")
 	flag.Parse()
+
+	alg, err := pki.ParseKeyAlgorithm(*keyAlg)
+	if err != nil {
+		cliutil.Fatalf("myproxy-http-gateway: %v", err)
+	}
 
 	logger := log.New(os.Stderr, "myproxy-http-gateway: ", log.LstdFlags)
 	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
@@ -60,17 +66,18 @@ func main() {
 		cliutil.Fatalf("myproxy-http-gateway: %v", err)
 	}
 	cfg := core.ServerConfig{
-		Credential:           cred,
-		Roots:                roots,
-		Store:                store,
-		AcceptedCredentials:  loadACL(*acceptedFile, "accepted"),
-		AuthorizedRetrievers: loadACL(*retrieversFile, "retrievers"),
-		Lifetimes:            policy.LifetimePolicy{MaxDelegated: time.Duration(*maxDelegHours) * time.Hour},
-		KDFIterations:        *kdfIter,
-		Logger:               logger,
+		Credential:             cred,
+		Roots:                  roots,
+		Store:                  store,
+		AcceptedCredentials:    loadACL(*acceptedFile, "accepted"),
+		AuthorizedRetrievers:   loadACL(*retrieversFile, "retrievers"),
+		Lifetimes:              policy.LifetimePolicy{MaxDelegated: time.Duration(*maxDelegHours) * time.Hour},
+		DelegationKeyAlgorithm: alg,
+		KDFIterations:          *kdfIter,
+		Logger:                 logger,
 	}
 	if *keypoolSize > 0 {
-		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		pool := keypool.New(*keypoolSize, 0, pki.KeySpec{Algorithm: alg})
 		defer pool.Close()
 		cfg.KeySource = pool
 	}

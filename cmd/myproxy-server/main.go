@@ -43,8 +43,16 @@ func main() {
 	msgTimeout := flag.Duration("message-timeout", 0, "per-message I/O deadline, evicts stalled peers (0 = session timeout)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown (0 = wait forever)")
 	statsFile := flag.String("stats-file", "", "stats snapshot file for myproxy-admin stats (default <store>/server.stats)")
-	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size for deposits (0 disables)")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background keypair pool size for deposits (0 disables)")
+	keyAlg := flag.String("key-alg", "rsa-2048", "key algorithm for server-generated deposit keys (rsa-2048, ecdsa-p256, ed25519)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "multiplexed session lifetime cap (0 = 5m)")
+	noSessions := flag.Bool("no-sessions", false, "refuse multiplexed SESSION requests (legacy one-exchange mode)")
 	flag.Parse()
+
+	alg, err := pki.ParseKeyAlgorithm(*keyAlg)
+	if err != nil {
+		cliutil.Fatalf("myproxy-server: %v", err)
+	}
 
 	logger := log.New(os.Stderr, "myproxy-server: ", log.LstdFlags)
 
@@ -100,12 +108,15 @@ func main() {
 			MaxStored:    time.Duration(*maxStoredHours) * time.Hour,
 			MaxDelegated: time.Duration(*maxDelegHours) * time.Hour,
 		},
-		KDFIterations:  *kdfIter,
-		Logger:         logger,
-		MaxConcurrent:  *maxConns,
-		MessageTimeout: *msgTimeout,
-		DrainTimeout:   *drainTimeout,
-		StatsFile:      *statsFile,
+		KDFIterations:          *kdfIter,
+		Logger:                 logger,
+		MaxConcurrent:          *maxConns,
+		MessageTimeout:         *msgTimeout,
+		DrainTimeout:           *drainTimeout,
+		StatsFile:              *statsFile,
+		DelegationKeyAlgorithm: alg,
+		SessionTimeout:         *sessionTimeout,
+		DisableSessions:        *noSessions,
 	}
 	if cfg.StatsFile == "" {
 		// Note: not a .json name — the store treats every *.json in its
@@ -116,7 +127,7 @@ func main() {
 		cfg.DelegationProxyType = proxy.Legacy
 	}
 	if *keypoolSize > 0 {
-		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		pool := keypool.New(*keypoolSize, 0, pki.KeySpec{Algorithm: alg})
 		defer pool.Close()
 		cfg.KeySource = pool
 	}

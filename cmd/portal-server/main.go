@@ -29,8 +29,14 @@ func main() {
 	mssAddr := flag.String("mss", "", "mass storage address (optional)")
 	sessionHours := flag.Float64("session-hours", 8, "maximum web session lifetime")
 	proxyHours := flag.Float64("proxy-hours", 2, "delegated proxy lifetime requested at login")
-	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background RSA keypair pool size for login delegations (0 disables)")
+	keypoolSize := flag.Int("keypool", keypool.DefaultSize, "background keypair pool size for login delegations (0 disables)")
+	keyAlg := flag.String("key-alg", "rsa-2048", "delegation key algorithm (rsa-2048, ecdsa-p256, ed25519)")
 	flag.Parse()
+
+	alg, err := pki.ParseKeyAlgorithm(*keyAlg)
+	if err != nil {
+		cliutil.Fatalf("portal-server: %v", err)
+	}
 
 	logger := log.New(os.Stderr, "portal: ", log.LstdFlags)
 	cred, err := cliutil.LoadCredential(*credFile, "host key pass phrase")
@@ -52,10 +58,11 @@ func main() {
 		MSSAddr:           *mssAddr,
 		SessionLifetime:   time.Duration(*sessionHours * float64(time.Hour)),
 		ProxyLifetime:     time.Duration(*proxyHours * float64(time.Hour)),
+		KeyAlgorithm:      alg,
 		Logger:            logger,
 	}
 	if *keypoolSize > 0 {
-		pool := keypool.New(*keypoolSize, 0, pki.DefaultKeyBits)
+		pool := keypool.New(*keypoolSize, 0, pki.KeySpec{Algorithm: alg})
 		defer pool.Close()
 		cfg.KeySource = pool
 	}

@@ -34,7 +34,7 @@ func run() error {
 	ctx := context.Background()
 
 	ca, err := pki.NewCA(pki.CAConfig{
-		Name: pki.MustParseDN("/C=US/O=Renewal Grid/CN=Renewal CA"), KeyBits: 1024,
+		Name: pki.MustParseDN("/C=US/O=Renewal Grid/CN=Renewal CA"), KeyBits: pki.DemoKeyBits,
 	})
 	if err != nil {
 		return err
@@ -42,11 +42,11 @@ func run() error {
 	roots := x509.NewCertPool()
 	roots.AddCert(ca.Certificate())
 	base := pki.MustParseDN("/C=US/O=Renewal Grid")
-	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
-	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, 1024)
+	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -58,7 +58,7 @@ func run() error {
 		AcceptedCredentials:  policy.NewACL("/C=US/O=Renewal Grid/*"),
 		AuthorizedRetrievers: policy.NewACL("/C=US/O=Renewal Grid/*"),
 		AuthorizedRenewers:   policy.NewACL("/C=US/O=Renewal Grid/*"),
-		DelegationKeyBits:    1024,
+		DelegationKeyBits:    pki.DemoKeyBits,
 		KDFIterations:        4096,
 	})
 	if err != nil {
@@ -75,7 +75,7 @@ func run() error {
 	// phrase, renewable only by her own identity via the renewer ACL.
 	aliceClient := &core.Client{
 		Credential: alice, Roots: roots, Addr: ln.Addr().String(),
-		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: pki.DemoKeyBits,
 	}
 	if err := aliceClient.Put(ctx, core.PutOptions{
 		Username: "alice", Renewable: true, Lifetime: 24 * time.Hour,
@@ -85,7 +85,7 @@ func run() error {
 	fmt.Println("alice deposited a renewable credential (myproxy-init -n)")
 
 	// The job starts with a proxy much shorter than its runtime.
-	jobProxy, err := proxy.New(alice, proxy.Options{Lifetime: 20 * time.Minute, KeyBits: 1024})
+	jobProxy, err := proxy.New(alice, proxy.Options{Lifetime: 20 * time.Minute, KeyBits: pki.DemoKeyBits})
 	if err != nil {
 		return err
 	}
@@ -98,7 +98,7 @@ func run() error {
 		NewClient: func(cred *pki.Credential) *core.Client {
 			return &core.Client{
 				Credential: cred, Roots: roots, Addr: ln.Addr().String(),
-				ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+				ExpectedServer: "*/CN=myproxy.example.org", KeyBits: pki.DemoKeyBits,
 			}
 		},
 		Username:  "alice",

@@ -44,7 +44,7 @@ func run() error {
 
 	// --- Build the Grid -------------------------------------------------
 	ca, err := pki.NewCA(pki.CAConfig{
-		Name: pki.MustParseDN("/C=US/O=Portal Grid/CN=Portal CA"), KeyBits: 1024,
+		Name: pki.MustParseDN("/C=US/O=Portal Grid/CN=Portal CA"), KeyBits: pki.DemoKeyBits,
 	})
 	if err != nil {
 		return err
@@ -53,7 +53,7 @@ func run() error {
 	roots.AddCert(ca.Certificate())
 	base := pki.MustParseDN("/C=US/O=Portal Grid")
 
-	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -61,7 +61,7 @@ func run() error {
 	gridmap.Add(alice.Subject(), "alice")
 
 	host := func(name string) *pki.Credential {
-		cred, err := ca.IssueHostCredential(base, name, 365*24*time.Hour, 1024)
+		cred, err := ca.IssueHostCredential(base, name, 365*24*time.Hour, pki.DemoKeyBits)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func run() error {
 		Roots:                roots,
 		AcceptedCredentials:  policy.NewACL("/C=US/O=Portal Grid/*"),
 		AuthorizedRetrievers: policy.NewACL("*/CN=portal.example.org"), // only the portal may retrieve (§5.1)
-		DelegationKeyBits:    1024,
+		DelegationKeyBits:    pki.DemoKeyBits,
 		KDFIterations:        4096,
 	})
 	if err != nil {
@@ -113,7 +113,7 @@ func run() error {
 		ExpectedMyProxy: "*/CN=myproxy.example.org",
 		GRAMAddr:        gramLn.Addr().String(),
 		MSSAddr:         mssLn.Addr().String(),
-		KeyBits:         1024,
+		KeyBits:         pki.DemoKeyBits,
 	})
 	if err != nil {
 		return err
@@ -126,7 +126,7 @@ func run() error {
 	// --- myproxy-init, done once from the user's workstation ------------
 	userClient := &core.Client{
 		Credential: alice, Roots: roots, Addr: repoLn.Addr().String(),
-		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+		ExpectedServer: "*/CN=myproxy.example.org", KeyBits: pki.DemoKeyBits,
 	}
 	if err := userClient.Put(ctx, core.PutOptions{
 		Username: "alice", Passphrase: "portal demo pass", Lifetime: 24 * time.Hour,

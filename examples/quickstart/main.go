@@ -6,12 +6,13 @@
 // myproxy-get-delegation (Fig. 2) retrieves a fresh short-lived proxy with
 // only the user identity and pass phrase.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-key-alg rsa-2048|ecdsa-p256|ed25519]
 package main
 
 import (
 	"context"
 	"crypto/x509"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -24,18 +25,24 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	keyAlg := flag.String("key-alg", "rsa-2048", "delegation key algorithm (rsa-2048, ecdsa-p256, ed25519)")
+	flag.Parse()
+	alg, err := pki.ParseKeyAlgorithm(*keyAlg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(alg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(alg pki.KeyAlgorithm) error {
 	ctx := context.Background()
 
 	// 1. A certificate authority and the trust roots (paper §2.1).
 	ca, err := pki.NewCA(pki.CAConfig{
 		Name:    pki.MustParseDN("/C=US/O=Quickstart Grid/CN=Quickstart CA"),
-		KeyBits: 1024, // small keys keep the demo snappy
+		KeyBits: pki.DemoKeyBits, // small keys keep the demo snappy
 	})
 	if err != nil {
 		return err
@@ -47,11 +54,11 @@ func run() error {
 	// 2. A user with a long-term credential, and the repository's own
 	//    host credential.
 	base := pki.MustParseDN("/C=US/O=Quickstart Grid")
-	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, 1024)
+	alice, err := ca.IssueCredential(base.WithCN("Alice Example"), 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
-	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, 1024)
+	repoHost, err := ca.IssueHostCredential(base, "myproxy.example.org", 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -59,12 +66,13 @@ func run() error {
 
 	// 3. The MyProxy repository (paper §4), with its two ACLs (§5.1).
 	repo, err := core.NewServer(core.ServerConfig{
-		Credential:           repoHost,
-		Roots:                roots,
-		AcceptedCredentials:  policy.NewACL("/C=US/O=Quickstart Grid/*"),
-		AuthorizedRetrievers: policy.NewACL("/C=US/O=Quickstart Grid/*"),
-		DelegationKeyBits:    1024,
-		KDFIterations:        4096,
+		Credential:             repoHost,
+		Roots:                  roots,
+		AcceptedCredentials:    policy.NewACL("/C=US/O=Quickstart Grid/*"),
+		AuthorizedRetrievers:   policy.NewACL("/C=US/O=Quickstart Grid/*"),
+		DelegationKeyAlgorithm: alg,
+		DelegationKeyBits:      pki.DemoKeyBits,
+		KDFIterations:          4096,
 	})
 	if err != nil {
 		return err
@@ -84,7 +92,8 @@ func run() error {
 		Roots:          roots,
 		Addr:           ln.Addr().String(),
 		ExpectedServer: "*/CN=myproxy.example.org",
-		KeyBits:        1024,
+		KeyAlgorithm:   alg,
+		KeyBits:        pki.DemoKeyBits,
 	}
 	if err := aliceClient.Put(ctx, core.PutOptions{
 		Username:   "alice",
@@ -97,7 +106,7 @@ func run() error {
 
 	// 5. Later — from anywhere, without Alice's long-term key —
 	//    myproxy-get-delegation (paper Fig. 2) retrieves a fresh proxy.
-	anywhere, err := ca.IssueHostCredential(base, "kiosk.example.org", 24*time.Hour, 1024)
+	anywhere, err := ca.IssueHostCredential(base, "kiosk.example.org", 24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -106,9 +115,19 @@ func run() error {
 		Roots:          roots,
 		Addr:           ln.Addr().String(),
 		ExpectedServer: "*/CN=myproxy.example.org",
-		KeyBits:        1024,
+		KeyAlgorithm:   alg,
+		KeyBits:        pki.DemoKeyBits,
 	}
-	cred, err := kioskClient.Get(ctx, core.GetOptions{
+	// The kiosk opens a multiplexed session: one handshake, then as many
+	// pipelined exchanges as it needs (a legacy server would decline and
+	// the session would transparently fall back to one connection per
+	// exchange).
+	sess, err := kioskClient.NewSession(ctx)
+	if err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	defer sess.Close()
+	cred, err := sess.Get(ctx, core.GetOptions{
 		Username:   "alice",
 		Passphrase: "quickstart pass phrase",
 		Lifetime:   2 * time.Hour,
@@ -122,9 +141,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("myproxy-get-delegation: received proxy")
+	fmt.Println("myproxy-get-delegation: received proxy",
+		map[bool]string{true: "(multiplexed session)", false: "(per-exchange connections)"}[sess.Multiplexed()])
 	fmt.Println("  subject: ", cred.Subject())
 	fmt.Println("  identity:", res.IdentityString())
+	if spec, ok := pki.SpecOf(cred.Certificate.PublicKey); ok {
+		fmt.Println("  key:     ", spec)
+	}
 	fmt.Println("  depth:   ", res.Depth, "delegation hops")
 	fmt.Println("  lifetime:", cred.TimeLeft().Round(time.Minute))
 

@@ -40,11 +40,11 @@ func run() error {
 	// Two independent CAs — the §6.2 premise: "as the number of
 	// organizations and CAs grow it is inevitable that users will end up
 	// with multiple credentials".
-	uniCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=State University/CN=Campus CA"), KeyBits: 1024})
+	uniCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=State University/CN=Campus CA"), KeyBits: pki.DemoKeyBits})
 	if err != nil {
 		return err
 	}
-	labCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=National Lab/CN=Lab CA"), KeyBits: 1024})
+	labCA, err := pki.NewCA(pki.CAConfig{Name: pki.MustParseDN("/C=US/O=National Lab/CN=Lab CA"), KeyBits: pki.DemoKeyBits})
 	if err != nil {
 		return err
 	}
@@ -53,12 +53,12 @@ func run() error {
 	roots.AddCert(labCA.Certificate())
 
 	campusCred, err := uniCA.IssueCredential(
-		pki.MustParseDN("/C=US/O=State University/OU=Physics/CN=Alice Example"), 365*24*time.Hour, 1024)
+		pki.MustParseDN("/C=US/O=State University/OU=Physics/CN=Alice Example"), 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
 	labCred, err := labCA.IssueCredential(
-		pki.MustParseDN("/C=US/O=National Lab/OU=Computing/CN=Alice Example"), 365*24*time.Hour, 1024)
+		pki.MustParseDN("/C=US/O=National Lab/OU=Computing/CN=Alice Example"), 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -95,7 +95,7 @@ func run() error {
 
 	// --- Repository with OTP-protected retrieval -------------------------
 	registry := otp.NewRegistry()
-	repoHost, err := labCA.IssueHostCredential(pki.MustParseDN("/C=US/O=National Lab"), "myproxy.example.org", 365*24*time.Hour, 1024)
+	repoHost, err := labCA.IssueHostCredential(pki.MustParseDN("/C=US/O=National Lab"), "myproxy.example.org", 365*24*time.Hour, pki.DemoKeyBits)
 	if err != nil {
 		return err
 	}
@@ -105,7 +105,7 @@ func run() error {
 		AcceptedCredentials:  policy.NewACL("*/CN=Alice Example"),
 		AuthorizedRetrievers: policy.NewACL("*"),
 		OTP:                  registry,
-		DelegationKeyBits:    1024,
+		DelegationKeyBits:    pki.DemoKeyBits,
 		KDFIterations:        4096,
 	})
 	if err != nil {
@@ -122,7 +122,7 @@ func run() error {
 	newClient := func(cred *pki.Credential) *core.Client {
 		return &core.Client{
 			Credential: cred, Roots: roots, Addr: ln.Addr().String(),
-			ExpectedServer: "*/CN=myproxy.example.org", KeyBits: 1024,
+			ExpectedServer: "*/CN=myproxy.example.org", KeyBits: pki.DemoKeyBits,
 		}
 	}
 	pass := "wallet demo pass phrase"

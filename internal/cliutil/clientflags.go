@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/pki"
 	"repro/internal/resilience"
 )
 
@@ -25,6 +26,9 @@ type ClientFlags struct {
 	// Replication is the cluster replication factor when -s names several
 	// nodes (0 selects the cluster default).
 	Replication *int
+	// KeyAlg names the delegation key algorithm (rsa-2048, ecdsa-p256,
+	// ed25519); empty selects the paper-fidelity RSA default.
+	KeyAlg *string
 }
 
 // RegisterClientFlags installs the shared client flags on fs. defaultCred
@@ -41,6 +45,7 @@ func RegisterClientFlags(fs *flag.FlagSet, defaultCred string) *ClientFlags {
 		Retries:      fs.Int("retries", 2, "retries after transient failures (0 disables)"),
 		RetryBackoff: fs.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per retry, jittered)"),
 		Replication:  fs.Int("replication", 0, "replication factor for a clustered -s list (0 = cluster default)"),
+		KeyAlg:       fs.String("key-alg", "rsa-2048", "delegation key algorithm (rsa-2048, ecdsa-p256, ed25519)"),
 	}
 }
 
@@ -70,6 +75,10 @@ func (cf *ClientFlags) BuildClient(keyPrompt string) (core.Repository, error) {
 	if err != nil {
 		return nil, err
 	}
+	alg, err := pki.ParseKeyAlgorithm(*cf.KeyAlg)
+	if err != nil {
+		return nil, err
+	}
 	var retry resilience.Policy
 	if *cf.Retries > 0 {
 		retry = resilience.Policy{
@@ -90,6 +99,7 @@ func (cf *ClientFlags) BuildClient(keyPrompt string) (core.Repository, error) {
 			Credential:        cred,
 			Roots:             roots,
 			ExpectedServer:    *cf.ServerDN,
+			KeyAlgorithm:      alg,
 			Timeout:           timeout,
 			Retry:             retry,
 		})
@@ -99,6 +109,7 @@ func (cf *ClientFlags) BuildClient(keyPrompt string) (core.Repository, error) {
 		Roots:          roots,
 		Addr:           *cf.Server,
 		ExpectedServer: *cf.ServerDN,
+		KeyAlgorithm:   alg,
 		Timeout:        timeout,
 		Retry:          retry,
 	}, nil

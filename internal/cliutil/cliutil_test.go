@@ -62,7 +62,7 @@ func TestLoadCredentialEncryptedPrompts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadCredential (encrypted): %v", err)
 	}
-	if back.PrivateKey.N.Cmp(cred.PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(back.PrivateKey.Public(), cred.PrivateKey.Public()) {
 		t.Error("key mismatch")
 	}
 	// Wrong pass phrase from the prompt fails.

@@ -49,6 +49,7 @@ type Config struct {
 	Credential     *pki.Credential
 	Roots          *x509.CertPool
 	ExpectedServer string
+	KeyAlgorithm   pki.KeyAlgorithm
 	KeyBits        int
 	KeySource      proxy.KeySource
 	ProxyType      proxy.Type
@@ -139,6 +140,7 @@ func (c *Client) node(id NodeID) core.Repository {
 			Roots:          c.cfg.Roots,
 			Addr:           nc.Addr,
 			ExpectedServer: c.cfg.ExpectedServer,
+			KeyAlgorithm:   c.cfg.KeyAlgorithm,
 			KeyBits:        c.cfg.KeyBits,
 			KeySource:      c.cfg.KeySource,
 			ProxyType:      c.cfg.ProxyType,

@@ -44,8 +44,12 @@ type Client struct {
 	// ExpectedServer optionally pins the repository identity (DN pattern);
 	// strongly recommended (paper §5.1 mutual authentication).
 	ExpectedServer string
-	// KeyBits sizes keys generated for incoming delegations; 0 selects
-	// pki.DefaultKeyBits.
+	// KeyAlgorithm selects the algorithm for keys generated for incoming
+	// delegations (and, via KEY_ALG, requested of the server for PUT); the
+	// zero value is RSA, the paper-fidelity default.
+	KeyAlgorithm pki.KeyAlgorithm
+	// KeyBits sizes RSA keys generated for incoming delegations; 0 selects
+	// pki.DefaultKeyBits. Ignored for non-RSA algorithms.
 	KeyBits int
 	// KeySource, when non-nil, supplies delegation key pairs (typically a
 	// keypool.Pool shared across clients), taking RSA generation off the
@@ -76,6 +80,20 @@ type Client struct {
 	tlsCfg      *tls.Config
 	verifyCache *proxy.VerifyCache
 	connErr     error
+}
+
+// keySpec assembles the delegation key spec from the client's settings.
+func (c *Client) keySpec() pki.KeySpec {
+	return pki.KeySpec{Algorithm: c.KeyAlgorithm, Bits: c.KeyBits}
+}
+
+// wireKeyAlg is the KEY_ALG request value: empty for RSA (legacy servers
+// get a byte-identical request), the algorithm name otherwise.
+func (c *Client) wireKeyAlg() string {
+	if c.KeyAlgorithm == pki.AlgRSA {
+		return ""
+	}
+	return c.KeyAlgorithm.String()
 }
 
 // ErrOTPRequired is returned (wrapped) when the repository demands a
@@ -195,7 +213,7 @@ func (c *Client) connect(ctx context.Context) (*clientConn, error) {
 // them. Transport faults while *reading* the response are ambiguous for
 // mutations (commitOp != ""): the server saw the request and may have
 // committed before the confirmation was lost.
-func (c *Client) roundTrip(conn *gsi.Conn, req *protocol.Request, commitOp string) (*protocol.Response, error) {
+func (c *Client) roundTrip(conn gsi.Channel, req *protocol.Request, commitOp string) (*protocol.Response, error) {
 	data, err := protocol.MarshalRequest(req)
 	if err != nil {
 		return nil, resilience.Permanent(err)
@@ -228,7 +246,7 @@ func (c *Client) roundTrip(conn *gsi.Conn, req *protocol.Request, commitOp strin
 }
 
 // readFinal consumes the post-delegation confirmation.
-func (c *Client) readFinal(conn *gsi.Conn) error {
+func (c *Client) readFinal(conn gsi.Channel) error {
 	respData, err := conn.ReadMessage()
 	if err != nil {
 		return fmt.Errorf("core: read final response: %w", err)
@@ -298,6 +316,7 @@ func (c *Client) putOnce(ctx context.Context, opts PutOptions, lifetime time.Dur
 		MaxDelegation: opts.MaxDelegation,
 		TaskTags:      opts.TaskTags,
 		Renewable:     opts.Renewable,
+		KeyAlg:        c.wireKeyAlg(),
 	}
 	// The first response precedes any server-side state change: failures
 	// up to here are retry-safe.
@@ -392,7 +411,7 @@ func (c *Client) getOnce(ctx context.Context, opts GetOptions) (*pki.Credential,
 	if _, err := c.roundTrip(conn.Conn, req, ""); err != nil {
 		return nil, err
 	}
-	cred, err := gsi.RequestDelegationFrom(conn.Conn, c.KeySource, c.KeyBits, c.Roots)
+	cred, err := gsi.RequestDelegationFrom(conn.Conn, c.KeySource, c.keySpec(), c.Roots)
 	if err != nil {
 		return nil, fmt.Errorf("core: receive delegation: %w", err)
 	}

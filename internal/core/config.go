@@ -70,6 +70,14 @@ type ServerConfig struct {
 	// DrainTimeout bounds Close's graceful drain: in-flight sessions get
 	// this long to finish before being force-closed. 0 waits indefinitely.
 	DrainTimeout time.Duration
+	// SessionTimeout caps a multiplexed session's total lifetime (the
+	// SESSION command): the connection is cut when it expires regardless of
+	// stream progress. 0 selects 5 minutes.
+	SessionTimeout time.Duration
+	// DisableSessions refuses SESSION requests, forcing clients down the
+	// one-exchange-per-connection path (legacy behavior; also how the
+	// client's transparent downgrade is exercised in tests).
+	DisableSessions bool
 	// StatsFile, when non-empty, is where the server persists an
 	// operation-counter snapshot (JSON) on shutdown and every
 	// StatsFlushInterval, for offline inspection by myproxy-admin stats.
@@ -80,8 +88,13 @@ type ServerConfig struct {
 	// PurgeInterval, when positive, sweeps expired credentials from the
 	// store on this period (see credstore.PurgeExpired).
 	PurgeInterval time.Duration
-	// DelegationKeyBits is the key size the server generates for imported
-	// (PUT) credentials; 0 selects pki.DefaultKeyBits.
+	// DelegationKeyAlgorithm selects the key algorithm the server generates
+	// for imported (PUT) credentials when the client does not request one
+	// (KEY_ALG); the zero value is RSA, the paper-fidelity default.
+	DelegationKeyAlgorithm pki.KeyAlgorithm
+	// DelegationKeyBits is the RSA key size the server generates for
+	// imported (PUT) credentials; 0 selects pki.DefaultKeyBits. Ignored for
+	// non-RSA algorithms.
 	DelegationKeyBits int
 	// KeySource, when non-nil, supplies pre-generated key pairs for
 	// imported (PUT) credentials — typically a keypool.Pool sized by the

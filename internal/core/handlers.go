@@ -1,18 +1,23 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/credstore"
 	"repro/internal/gsi"
+	"repro/internal/pki"
 	"repro/internal/protocol"
 	"repro/internal/proxy"
 )
 
-// serveSession runs one request/response exchange (plus any delegation the
-// command implies) on an authenticated channel.
+// serveSession runs one client conversation on an authenticated channel:
+// either a single request/response exchange (plus any delegation the
+// command implies), or — on a SESSION request — a multiplexed session
+// pipelining many such exchanges over the one connection.
 func (s *Server) serveSession(conn *gsi.Conn) error {
 	reqData, err := conn.ReadMessage()
 	if err != nil {
@@ -23,6 +28,17 @@ func (s *Server) serveSession(conn *gsi.Conn) error {
 		s.respond(conn, protocol.ErrorResponse("malformed request: %v", err))
 		return err
 	}
+	if req.Command == protocol.CmdSession {
+		return s.serveMultiplexed(conn)
+	}
+	return s.dispatch(conn, req, nil)
+}
+
+// dispatch routes one parsed request to its handler. The channel may be a
+// whole connection or one stream of a multiplexed session; the handlers
+// cannot tell the difference beyond the session's unseal cache (nil for a
+// single-exchange connection).
+func (s *Server) dispatch(conn gsi.Channel, req *protocol.Request, sc *unsealCache) error {
 	peer := conn.PeerIdentity()
 	s.cfg.logf("%s %s username=%q cred=%q from %v", peer, req.Command, req.Username, req.CredName, conn.RemoteAddr())
 
@@ -30,7 +46,7 @@ func (s *Server) serveSession(conn *gsi.Conn) error {
 	case protocol.CmdPut:
 		return s.handlePut(conn, req)
 	case protocol.CmdGet:
-		return s.handleGet(conn, req)
+		return s.handleGet(conn, req, sc)
 	case protocol.CmdInfo:
 		return s.handleInfo(conn, req)
 	case protocol.CmdDestroy:
@@ -41,20 +57,26 @@ func (s *Server) serveSession(conn *gsi.Conn) error {
 		return s.handleStore(conn, req)
 	case protocol.CmdRetrieve:
 		return s.handleRetrieve(conn, req)
+	case protocol.CmdSession:
+		// SESSION is only valid as a connection's first exchange
+		// (serveSession handles it there); nesting sessions in streams is
+		// refused.
+		s.respond(conn, protocol.ErrorResponse("SESSION not valid here"))
+		return errors.New("nested SESSION request")
 	default:
 		s.respond(conn, protocol.ErrorResponse("unsupported command %s", req.Command))
 		return fmt.Errorf("unsupported command %d", int(req.Command))
 	}
 }
 
-func (s *Server) respond(conn *gsi.Conn, resp *protocol.Response) error {
+func (s *Server) respond(conn gsi.Channel, resp *protocol.Response) error {
 	return conn.WriteMessage(protocol.MarshalResponse(resp))
 }
 
 // failf logs, counts, and sends an error response. The client-visible text
 // is deliberately generic for authentication failures to avoid oracle
 // behavior; detail goes to the audit log.
-func (s *Server) failf(conn *gsi.Conn, public string, format string, args ...interface{}) error {
+func (s *Server) failf(conn gsi.Channel, public string, format string, args ...interface{}) error {
 	s.cfg.logf("DENIED %s: %s", conn.PeerIdentity(), fmt.Sprintf(format, args...))
 	s.stats.AuthFailures.Add(1)
 	return s.respond(conn, protocol.ErrorResponse("%s", public))
@@ -66,9 +88,158 @@ const (
 	badPhraseMsg = "bad pass phrase or username"
 )
 
+// --- SESSION: multiplexed pipelined exchanges over one connection ---
+
+// unsealCache is a session-scoped cache of unsealed credentials. The
+// streams of one multiplexed session typically repeat the same
+// (username, pass phrase) exchange back to back — the pattern session
+// mode exists for — and the sealing KDF (deliberately slow, paper §5.1)
+// would otherwise dominate every pipelined get. The cache key binds the
+// exact sealed bytes to the pass phrase, so a reseal, pass-phrase
+// change, or replacement PUT changes the key and misses naturally.
+//
+// Security posture: every policy gate (ACLs, per-credential retriever
+// lists, OTP, expiry, and the per-stream revocation re-check) still runs
+// on every stream; only the KDF-and-decrypt step is skipped. Plaintext
+// keys live no longer than they would in a client that held the session
+// open — the life of one authenticated connection, capped by
+// SessionTimeout — and are wiped when the session ends, so §5.1's
+// at-rest property is unchanged.
+type unsealCache struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*pki.Credential
+}
+
+func unsealKey(e *credstore.Entry, passphrase []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(e.SealedKey)
+	h.Write([]byte{0})
+	h.Write(passphrase)
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// lookup returns the cached unsealed credential, or nil. Nil-receiver
+// safe: a single-exchange connection has no cache.
+func (c *unsealCache) lookup(e *credstore.Entry, passphrase []byte) *pki.Credential {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[unsealKey(e, passphrase)]
+}
+
+// add caches cred unless another stream raced it in first; it reports
+// whether cred is now owned by the cache (and must not be dropped by the
+// caller). Nil-receiver safe.
+func (c *unsealCache) add(e *credstore.Entry, passphrase []byte, cred *pki.Credential) bool {
+	if c == nil {
+		return false
+	}
+	k := unsealKey(e, passphrase)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		return false
+	}
+	if c.m == nil {
+		c.m = make(map[[sha256.Size]byte]*pki.Credential)
+	}
+	c.m[k] = cred
+	return true
+}
+
+// wipe zeroizes every cached private key; the session is over.
+func (c *unsealCache) wipe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, cred := range c.m {
+		pki.WipeSigner(cred.PrivateKey)
+		cred.PrivateKey = nil
+		delete(c.m, k)
+	}
+}
+
+// serveMultiplexed upgrades the connection to session mode: the client
+// opens one stream per protocol exchange and the streams proceed
+// concurrently, sharing the single TLS handshake already paid. The peer
+// chain is re-verified (through the verify cache, which re-checks
+// revocation on every hit and is invalidated by SetRevoked) before each
+// stream is served, so a CRL reload refuses a revoked peer on the very
+// next operation of an already-open session.
+func (s *Server) serveMultiplexed(conn *gsi.Conn) error {
+	if s.cfg.DisableSessions {
+		// A refusal here is the downgrade signal: the client falls back to
+		// one connection per exchange, exactly what a pre-session server's
+		// "unsupported command" answer produces.
+		return s.respond(conn, protocol.ErrorResponse("session mode not supported"))
+	}
+	timeout := s.cfg.SessionTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	if err := s.respond(conn, protocol.OKResponse()); err != nil {
+		return err
+	}
+	// Per-message deadlines belong to the one-exchange mode; a session is
+	// capped absolutely instead (armDeadline is disarmed by the Session).
+	if err := conn.SetDeadline(s.cfg.now().Add(timeout)); err != nil {
+		return err
+	}
+	s.stats.Sessions.Add(1)
+	sess := gsi.NewServerSession(conn)
+	defer sess.Close()
+	sc := &unsealCache{}
+	defer sc.wipe()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		st, err := sess.Accept()
+		if err != nil {
+			// The client closed the connection or the session cap expired —
+			// the normal end of a session, not a server fault.
+			s.cfg.logf("session with %s ended: %v", conn.PeerIdentity(), err)
+			return nil
+		}
+		if _, err := s.verifyCache.Verify(conn.PeerChain(), proxy.VerifyOptions{
+			Roots: s.cfg.Roots, MaxDepth: s.cfg.MaxChainDepth, IsRevoked: s.revocationHook(),
+		}); err != nil {
+			s.stats.AuthFailures.Add(1)
+			s.respond(st, protocol.ErrorResponse(deniedMsg))
+			return fmt.Errorf("session peer %s no longer authorized: %w", conn.PeerIdentity(), err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer st.Close()
+			s.serveStream(st, sc)
+		}()
+	}
+}
+
+// serveStream runs one protocol exchange on one session stream.
+func (s *Server) serveStream(st *gsi.Stream, sc *unsealCache) {
+	s.stats.Streams.Add(1)
+	reqData, err := st.ReadMessage()
+	if err != nil {
+		return // stream abandoned; the session-level accounting covers it
+	}
+	req, err := protocol.ParseRequest(reqData)
+	if err != nil {
+		s.respond(st, protocol.ErrorResponse("malformed request: %v", err))
+		return
+	}
+	if err := s.dispatch(st, req, sc); err != nil {
+		s.stats.Errors.Add(1)
+		s.cfg.logf("stream with %s: %v", st.PeerIdentity(), err)
+	}
+}
+
 // --- PUT: myproxy-init (paper Fig. 1) ---
 
-func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handlePut(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	if !s.cfg.AcceptedCredentials.Allows(peer) {
 		return s.failf(conn, deniedMsg, "PUT by %s not in accepted_credentials", peer)
@@ -87,6 +258,19 @@ func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
 			return s.respond(conn, protocol.ErrorResponse("pass phrase rejected: %v", err))
 		}
 	}
+	// The server generates the key pair for an imported credential, by
+	// default with its configured algorithm; the client may request another
+	// via KEY_ALG (keyspec negotiation, PROTOCOL.md). An unparseable value
+	// is refused before any state changes.
+	spec := pki.KeySpec{Algorithm: s.cfg.DelegationKeyAlgorithm, Bits: s.cfg.DelegationKeyBits}
+	if req.KeyAlg != "" {
+		alg, err := pki.ParseKeyAlgorithm(req.KeyAlg)
+		if err != nil {
+			s.cfg.logf("DENIED %s: %v", peer, err)
+			return s.respond(conn, protocol.ErrorResponse("unsupported key algorithm %q", req.KeyAlg))
+		}
+		spec.Algorithm = alg
+	}
 	lifetime := s.cfg.Lifetimes.ClampStored(req.Lifetime)
 	if err := s.respond(conn, protocol.OKResponse()); err != nil {
 		return err
@@ -94,7 +278,7 @@ func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
 	// Import the credential: the client is the exporter, so the private
 	// key is generated here — drawn from the background pool when one is
 	// configured — and never crosses the wire.
-	cred, err := gsi.RequestDelegationFrom(conn, s.cfg.KeySource, s.cfg.DelegationKeyBits, s.cfg.Roots)
+	cred, err := gsi.RequestDelegationFrom(conn, s.cfg.KeySource, spec, s.cfg.Roots)
 	if err != nil {
 		s.respond(conn, protocol.ErrorResponse("delegation failed: %v", err))
 		return fmt.Errorf("PUT delegation from %s: %w", peer, err)
@@ -155,7 +339,7 @@ func (s *Server) handlePut(conn *gsi.Conn, req *protocol.Request) error {
 
 // --- GET: myproxy-get-delegation (paper Fig. 2) ---
 
-func (s *Server) handleGet(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCache) error {
 	if req.Renewal {
 		return s.handleRenewal(conn, req)
 	}
@@ -193,13 +377,21 @@ func (s *Server) handleGet(conn *gsi.Conn, req *protocol.Request) error {
 	if entry.Expired(s.cfg.now()) {
 		return s.failf(conn, "stored credential has expired", "GET %s/%s expired at %v", req.Username, entry.Name, entry.NotAfter)
 	}
-	issuer, err := credstore.UnsealDelegated(entry, []byte(req.Passphrase))
-	if err != nil {
-		if errors.Is(err, credstore.ErrBadPassphrase) {
-			return s.failf(conn, badPhraseMsg, "GET %s/%s: bad pass phrase", req.Username, entry.Name)
+	// Within a session, repeated gets of the same sealed credential under
+	// the same pass phrase skip the KDF via the session's unseal cache.
+	issuer := sc.lookup(entry, []byte(req.Passphrase))
+	cached := issuer != nil
+	if !cached {
+		var err error
+		issuer, err = credstore.UnsealDelegated(entry, []byte(req.Passphrase))
+		if err != nil {
+			if errors.Is(err, credstore.ErrBadPassphrase) {
+				return s.failf(conn, badPhraseMsg, "GET %s/%s: bad pass phrase", req.Username, entry.Name)
+			}
+			s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
+			return err
 		}
-		s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
-		return err
+		cached = sc.add(entry, []byte(req.Passphrase), issuer)
 	}
 	lifetime := s.cfg.Lifetimes.ClampDelegatedWithRestriction(req.Lifetime, entry.MaxDelegation)
 	if err := s.respond(conn, protocol.OKResponse()); err != nil {
@@ -215,8 +407,10 @@ func (s *Server) handleGet(conn *gsi.Conn, req *protocol.Request) error {
 		return fmt.Errorf("GET delegation to %s: %w", peer, err)
 	}
 	// Drop the unsealed key (paper §5.1: plaintext exists only while in
-	// active use).
-	issuer.PrivateKey = nil
+	// active use); a session-cached key is dropped when the session ends.
+	if !cached {
+		issuer.PrivateKey = nil
+	}
 	s.stats.Gets.Add(1)
 	s.cfg.logf("DELEGATED %s/%s to %s for %v", req.Username, entry.Name, peer, lifetime)
 	return s.respond(conn, protocol.OKResponse())
@@ -226,7 +420,7 @@ func (s *Server) handleGet(conn *gsi.Conn, req *protocol.Request) error {
 // its current (soon-to-expire) proxy of the user's identity, obtains a
 // fresh delegation without a pass phrase. Authorization is the renewer ACL
 // plus an exact identity match with the stored credential's owner.
-func (s *Server) handleRenewal(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleRenewal(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	if !s.cfg.AuthorizedRenewers.Allows(peer) {
 		return s.failf(conn, deniedMsg, "RENEWAL by %s not in authorized_renewers", peer)
@@ -269,7 +463,7 @@ func (s *Server) handleRenewal(conn *gsi.Conn, req *protocol.Request) error {
 
 // --- INFO: myproxy-info ---
 
-func (s *Server) handleInfo(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleInfo(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	// Both depositors and retrievers may inspect; authentication is the
 	// per-entry pass phrase.
@@ -306,7 +500,7 @@ func (s *Server) handleInfo(conn *gsi.Conn, req *protocol.Request) error {
 
 // --- DESTROY: myproxy-destroy (paper §4.1) ---
 
-func (s *Server) handleDestroy(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleDestroy(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	entry, err := s.store.Get(req.Username, req.CredName)
 	if err != nil {
@@ -330,7 +524,7 @@ func (s *Server) handleDestroy(conn *gsi.Conn, req *protocol.Request) error {
 
 // --- CHANGE_PASSPHRASE: myproxy-change-passphrase ---
 
-func (s *Server) handleChangePassphrase(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleChangePassphrase(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	entry, err := s.store.Get(req.Username, req.CredName)
 	if err != nil {
@@ -368,7 +562,7 @@ func (s *Server) handleChangePassphrase(conn *gsi.Conn, req *protocol.Request) e
 
 // --- STORE: myproxy-store (paper §6.1) ---
 
-func (s *Server) handleStore(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleStore(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	if !s.cfg.AcceptedCredentials.Allows(peer) {
 		return s.failf(conn, deniedMsg, "STORE by %s not in accepted_credentials", peer)
@@ -417,7 +611,7 @@ func (s *Server) handleStore(conn *gsi.Conn, req *protocol.Request) error {
 
 // --- RETRIEVE: myproxy-retrieve (paper §6.1) ---
 
-func (s *Server) handleRetrieve(conn *gsi.Conn, req *protocol.Request) error {
+func (s *Server) handleRetrieve(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	if !s.cfg.AuthorizedRetrievers.Allows(peer) {
 		return s.failf(conn, deniedMsg, "RETRIEVE by %s not in authorized_retrievers", peer)

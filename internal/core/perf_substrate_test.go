@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/keypool"
+	"repro/internal/pki"
 	"repro/internal/testpki"
 )
 
@@ -50,9 +51,9 @@ func TestCRLReloadRejectsCachedAndResumedPeer(t *testing.T) {
 // drawing keys from pools, and proves pooled keys end up in the delegated
 // credentials (the pool serves, the chain still verifies).
 func TestClientKeySourcePooledDelegation(t *testing.T) {
-	clientPool := keypool.New(4, 1, 1024)
+	clientPool := keypool.New(4, 1, pki.KeySpec{Bits: 1024})
 	defer clientPool.Close()
-	serverPool := keypool.New(4, 1, 1024)
+	serverPool := keypool.New(4, 1, pki.KeySpec{Bits: 1024})
 	defer serverPool.Close()
 
 	// Key generation takes tens of milliseconds; wait for at least one warm
@@ -88,8 +89,8 @@ func TestClientKeySourcePooledDelegation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Get with pooled keys: %v", err)
 	}
-	if cred.PrivateKey.N.BitLen() != 1024 {
-		t.Fatalf("delegated key is %d bits, want 1024", cred.PrivateKey.N.BitLen())
+	if spec, ok := pki.SpecOf(cred.PrivateKey.Public()); !ok || spec.Bits != 1024 {
+		t.Fatalf("delegated key spec = %v, want 1024-bit RSA", spec)
 	}
 	if err := cred.Validate(time.Now()); err != nil {
 		t.Fatalf("pooled-key credential invalid: %v", err)

@@ -60,6 +60,12 @@ type Stats struct {
 	Retrieves        atomic.Int64
 	Errors           atomic.Int64
 
+	// Sessions counts multiplexed sessions opened (SESSION command);
+	// Streams counts exchanges served on session streams (these operations
+	// also count in their per-command counters above).
+	Sessions atomic.Int64
+	Streams  atomic.Int64
+
 	// Resilience counters.
 	// Timeouts counts sessions evicted by a per-message I/O deadline
 	// (stalled peers, slowloris clients).
@@ -90,6 +96,8 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"stores":            s.Stores.Load(),
 		"retrieves":         s.Retrieves.Load(),
 		"errors":            s.Errors.Load(),
+		"sessions":          s.Sessions.Load(),
+		"streams":           s.Streams.Load(),
 		"timeouts":          s.Timeouts.Load(),
 		"drain_refusals":    s.DrainRefusals.Load(),
 		"forced_closes":     s.ForcedCloses.Load(),

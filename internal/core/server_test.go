@@ -362,7 +362,7 @@ func TestStoreRetrieve(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Retrieve: %v", err)
 	}
-	if back.PrivateKey.N.Cmp(alice.PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(back.PrivateKey.Public(), alice.PrivateKey.Public()) {
 		t.Error("retrieved key mismatch")
 	}
 	// Wrong pass phrase: server refuses before returning the blob.

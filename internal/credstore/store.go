@@ -227,12 +227,16 @@ func SealDelegated(e *Entry, cred *pki.Credential, passphrase []byte, kdfIter in
 // UnsealDelegated reconstructs the delegated credential, verifying the pass
 // phrase. The caller must discard the plaintext key as soon as the
 // delegation completes.
+//
+// The sealed key is AES-GCM authenticated under the pass-phrase-derived
+// key, so decryption itself proves the pass phrase; running the separate
+// verifier first would double the KDF cost of every retrieval for no
+// security gain. The verifier exists for entries the server cannot
+// decrypt (opaque KindStored blobs) and for operations that must check
+// the pass phrase without unsealing (INFO, DESTROY).
 func UnsealDelegated(e *Entry, passphrase []byte) (*pki.Credential, error) {
 	if e.Kind != KindDelegated {
 		return nil, fmt.Errorf("credstore: %s credential cannot be unsealed for delegation", e.Kind)
-	}
-	if err := e.CheckPassphrase(passphrase); err != nil {
-		return nil, err
 	}
 	key, err := pki.DecryptKeyPEM(e.SealedKey, passphrase)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/pki"
 	"repro/internal/proxy"
 	"repro/internal/testpki"
 )
@@ -204,7 +205,7 @@ func TestSealUnsealDelegated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("UnsealDelegated: %v", err)
 	}
-	if back.PrivateKey.N.Cmp(p.PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(back.PrivateKey.Public(), p.PrivateKey.Public()) {
 		t.Error("key mismatch")
 	}
 	if back.Subject() != p.Subject() {

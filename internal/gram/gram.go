@@ -280,7 +280,7 @@ func (s *Server) handleSubmit(conn *gsi.Conn, account string, req *Request) *Rep
 		// Receive a delegated proxy for the job (paper §2.4): the server
 		// generates the key; the client signs.
 		var err error
-		cred, err = gsi.RequestDelegation(conn, 1024, s.cfg.Roots)
+		cred, err = gsi.RequestDelegation(conn, pki.KeySpec{Bits: pki.DemoKeyBits}, s.cfg.Roots)
 		if err != nil {
 			return &Reply{Error: fmt.Sprintf("delegation failed: %v", err)}
 		}

@@ -43,6 +43,24 @@ type AuthOptions struct {
 	TLSConfig *tls.Config
 }
 
+// Channel is one authenticated message pipe: either a whole connection
+// (*Conn) or one stream of a multiplexed session (*Stream). Delegation and
+// the MyProxy protocol handlers speak Channel, so a protocol exchange is
+// written once and runs unchanged over both transports.
+type Channel interface {
+	// WriteMessage sends one framed message.
+	WriteMessage(payload []byte) error
+	// ReadMessage receives one framed message.
+	ReadMessage() ([]byte, error)
+	// LocalCredential reports the credential this side authenticated with.
+	LocalCredential() *pki.Credential
+	// PeerIdentity reports the authenticated Grid identity of the remote
+	// side.
+	PeerIdentity() string
+	// RemoteAddr reports the remote network address.
+	RemoteAddr() net.Addr
+}
+
 // Conn is a mutually authenticated GSI channel. All payloads are protected
 // by TLS (the paper's §2.2/§5.1 confidentiality and integrity requirement)
 // and exchanged as length-framed messages.
@@ -284,6 +302,17 @@ func (c *Conn) Close() error { return c.tls.Close() }
 
 // PeerIdentity returns the authenticated Grid identity of the remote side.
 func (c *Conn) PeerIdentity() string { return c.Peer.IdentityString() }
+
+// LocalCredential returns the credential this side authenticated with.
+func (c *Conn) LocalCredential() *pki.Credential { return c.Local }
+
+// PeerChain returns the raw certificate chain the peer presented in the
+// TLS handshake (or, on a resumed session, the chain restored from session
+// state). Multiplexed sessions re-verify it per stream so a revocation
+// takes effect mid-session.
+func (c *Conn) PeerChain() []*x509.Certificate {
+	return c.tls.ConnectionState().PeerCertificates
+}
 
 // RemoteAddr reports the remote network address.
 func (c *Conn) RemoteAddr() net.Addr { return c.tls.RemoteAddr() }

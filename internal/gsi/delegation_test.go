@@ -27,7 +27,7 @@ func runDelegation(t *testing.T, exporterCred, importerCred *pki.Credential, opt
 		_, err := Delegate(srv, exporterCred, opts)
 		ch <- delRes{err}
 	}()
-	cred, err := RequestDelegation(cli, 1024, testRoots(t))
+	cred, err := RequestDelegation(cli, pki.KeySpec{Bits: 1024}, testRoots(t))
 	if srvRes := <-ch; srvRes.err != nil {
 		t.Fatalf("Delegate: %v", srvRes.err)
 	}
@@ -53,7 +53,7 @@ func TestWireDelegation(t *testing.T) {
 		t.Errorf("depth = %d", res.Depth)
 	}
 	// The delegated key must differ from the user's long-term key.
-	if cred.PrivateKey.N.Cmp(user.PrivateKey.N) == 0 {
+	if pki.PublicKeysEqual(cred.PrivateKey.Public(), user.PrivateKey.Public()) {
 		t.Fatal("private key crossed the wire")
 	}
 	if err := cred.Validate(time.Now()); err != nil {

@@ -55,3 +55,58 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	}
 	return payload, nil
 }
+
+// Stream frames extend the base framing for multiplexed sessions: the
+// 4-byte length counts a 4-byte stream identifier plus the payload, so a
+// plain-frame reader that meets a stream frame fails loudly on the id
+// bytes instead of silently misparsing (and vice versa the id doubles as
+// a cheap sanity check — id 0 is reserved and never valid on the wire).
+
+// streamIDLen is the size of the stream identifier inside a stream frame.
+const streamIDLen = 4
+
+// WriteStreamFrame writes one length-prefixed message tagged with a
+// stream identifier (id must be nonzero).
+func WriteStreamFrame(w io.Writer, id uint32, payload []byte) error {
+	if id == 0 {
+		return errors.New("gsi: stream id 0 is reserved")
+	}
+	var hdr [4 + streamIDLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+streamIDLen))
+	binary.BigEndian.PutUint32(hdr[4:], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("gsi: write stream frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("gsi: write stream frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadStreamFrame reads one stream-tagged frame of at most max payload
+// bytes (max <= 0 selects DefaultMaxFrame).
+func ReadStreamFrame(r io.Reader, max int) (uint32, []byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4 + streamIDLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < streamIDLen {
+		return 0, nil, errors.New("gsi: stream frame shorter than stream id")
+	}
+	if n-streamIDLen > uint32(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n-streamIDLen, max)
+	}
+	id := binary.BigEndian.Uint32(hdr[4:])
+	if id == 0 {
+		return 0, nil, errors.New("gsi: stream id 0 is reserved")
+	}
+	payload := make([]byte, n-streamIDLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("gsi: read stream frame body: %w", err)
+	}
+	return id, payload, nil
+}

@@ -42,7 +42,7 @@ func TestRequestDelegationRejectsForeignKey(t *testing.T) {
 		chain := append([]*x509.Certificate{cert}, user.CertChain()...)
 		errCh <- srv.WriteMessage(pki.EncodeCertsPEM(chain))
 	}()
-	_, err = RequestDelegation(cli, 1024, testRoots(t))
+	_, err = RequestDelegation(cli, pki.KeySpec{Bits: 1024}, testRoots(t))
 	if err == nil || !strings.Contains(err.Error(), "does not match requested key") {
 		t.Fatalf("foreign-key chain: %v", err)
 	}
@@ -77,7 +77,7 @@ func TestRequestDelegationRejectsUntrustedChain(t *testing.T) {
 		_, err := Delegate(srv, rogueUser, proxy.Options{Lifetime: time.Hour})
 		errCh <- err
 	}()
-	_, err = RequestDelegation(cli, 1024, testRoots(t)) // pins the main CA
+	_, err = RequestDelegation(cli, pki.KeySpec{Bits: 1024}, testRoots(t)) // pins the main CA
 	if err == nil || !strings.Contains(err.Error(), "delegated chain rejected") {
 		t.Fatalf("untrusted chain: %v", err)
 	}

@@ -3,8 +3,8 @@ package httpgate
 import (
 	"bytes"
 	"context"
+	"crypto"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/tls"
 	"crypto/x509"
 	"encoding/json"
@@ -33,7 +33,11 @@ type Client struct {
 	BaseURL string
 	// ServerName overrides SNI/hostname verification when dialing by IP.
 	ServerName string
-	// KeyBits sizes generated delegation keys (0 = pki.DefaultKeyBits).
+	// KeyAlgorithm selects the delegation key algorithm; the zero value is
+	// RSA, the paper-fidelity default.
+	KeyAlgorithm pki.KeyAlgorithm
+	// KeyBits sizes generated RSA delegation keys (0 = pki.DefaultKeyBits);
+	// ignored for non-RSA algorithms.
 	KeyBits int
 	// KeySource, when non-nil, supplies delegation key pairs (typically a
 	// keypool.Pool); nil generates synchronously.
@@ -125,12 +129,13 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 // Get performs the single-round-trip Figure 2: generate a key locally,
 // send a CSR, receive the delegated chain, and assemble the credential.
 func (c *Client) Get(ctx context.Context, req GetRequest) (*pki.Credential, error) {
-	var key *rsa.PrivateKey
+	spec := pki.KeySpec{Algorithm: c.KeyAlgorithm, Bits: c.KeyBits}
+	var key crypto.Signer
 	var err error
 	if c.KeySource != nil {
-		key, err = c.KeySource.Get(ctx, c.KeyBits)
+		key, err = c.KeySource.Get(ctx, spec)
 	} else {
-		key, err = pki.GenerateKey(c.KeyBits)
+		key, err = pki.GenerateSigner(spec)
 	}
 	if err != nil {
 		return nil, err

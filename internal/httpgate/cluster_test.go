@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/credstore"
+	"repro/internal/pki"
 	"repro/internal/testpki"
 )
 
@@ -62,7 +63,7 @@ func TestGatewayOverReplicatedStore(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Retrieve with one replica emptied: %v", err)
 	}
-	if got.PrivateKey.N.Cmp(user.PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(got.PrivateKey.Public(), user.PrivateKey.Public()) {
 		t.Error("retrieved credential key mismatch")
 	}
 

@@ -233,7 +233,7 @@ func TestStoreRetrieveDestroyOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Retrieve: %v", err)
 	}
-	if back.PrivateKey.N.Cmp(alice.PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(back.PrivateKey.Public(), alice.PrivateKey.Public()) {
 		t.Error("key mismatch")
 	}
 	// Destroy by a non-owner fails; by the owner succeeds.

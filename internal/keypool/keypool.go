@@ -1,4 +1,4 @@
-// Package keypool pre-generates RSA key pairs off the request path.
+// Package keypool pre-generates key pairs off the request path.
 //
 // Every delegation in the paper's flows (Fig. 1 init, Fig. 2
 // get-delegation, Fig. 3 portal login) needs a fresh key pair for the
@@ -6,9 +6,15 @@
 // portal scale. A Pool moves that work to background workers that keep a
 // bounded channel of ready keys; the hot path does a channel receive
 // instead of a modular-arithmetic search. When the pool is drained, or the
-// caller asks for a bit size the pool does not stock, Get falls back to
+// caller asks for a key spec the pool does not stock, Get falls back to
 // synchronous generation, so a Pool is an accelerator, never a
 // correctness dependency — a nil *Pool is valid and always falls back.
+//
+// The pool is keyed by pki.KeySpec: one pool stocks one algorithm (and,
+// for RSA, one modulus size). For the elliptic algorithms generation is
+// microseconds, so a pool buys little — but the fallback keeps a
+// mixed-algorithm deployment correct either way: a pool warmed with
+// RSA-2048 serves an Ed25519 request by generating synchronously.
 //
 // Refill uses hysteresis: workers sleep while stock is above a low-water
 // mark (half the pool) and batch-refill to full when it drops below. That
@@ -20,7 +26,7 @@ package keypool
 
 import (
 	"context"
-	"crypto/rsa"
+	"crypto"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -33,11 +39,12 @@ import (
 // cancellation.
 var ErrClosed = errors.New("keypool: pool is closed")
 
-// Pool is a bounded background RSA key-pair generator. It is safe for
-// concurrent use; the zero of *Pool (nil) is a valid always-fallback pool.
+// Pool is a bounded background key-pair generator for one pki.KeySpec. It
+// is safe for concurrent use; the zero of *Pool (nil) is a valid
+// always-fallback pool.
 type Pool struct {
-	bits int
-	keys chan *rsa.PrivateKey
+	spec pki.KeySpec
+	keys chan crypto.Signer
 	done chan struct{}
 	// low is the refill threshold; wake carries the (coalesced) signal
 	// that stock dropped to or below it.
@@ -47,9 +54,9 @@ type Pool struct {
 	closeOnce sync.Once
 	workers   sync.WaitGroup
 
-	// generate is pki.GenerateKey, injectable for tests that need a slow
-	// or counting generator.
-	generate func(bits int) (*rsa.PrivateKey, error)
+	// generate is pki.GenerateSigner, injectable for tests that need a
+	// slow or counting generator.
+	generate func(spec pki.KeySpec) (crypto.Signer, error)
 
 	hits, misses, generated atomic.Int64
 }
@@ -57,14 +64,12 @@ type Pool struct {
 // DefaultSize is the pooled-key target used when New is given size <= 0.
 const DefaultSize = 32
 
-// New starts a pool that keeps up to size keys of the given bit size warm,
-// filled by workers background goroutines. bits == 0 selects
+// New starts a pool that keeps up to size keys of the given spec warm,
+// filled by workers background goroutines. The zero spec selects RSA at
 // pki.DefaultKeyBits; size <= 0 selects DefaultSize; workers <= 0 selects
 // 2. The pool generates keys until Close.
-func New(size, workers, bits int) *Pool {
-	if bits == 0 {
-		bits = pki.DefaultKeyBits
-	}
+func New(size, workers int, spec pki.KeySpec) *Pool {
+	spec = spec.Normalize()
 	if size <= 0 {
 		size = DefaultSize
 	}
@@ -72,12 +77,12 @@ func New(size, workers, bits int) *Pool {
 		workers = 2
 	}
 	p := &Pool{
-		bits:     bits,
-		keys:     make(chan *rsa.PrivateKey, size),
+		spec:     spec,
+		keys:     make(chan crypto.Signer, size),
 		done:     make(chan struct{}),
 		low:      size / 2,
 		wake:     make(chan struct{}, 1),
-		generate: pki.GenerateKey,
+		generate: pki.GenerateSigner,
 	}
 	p.wake <- struct{}{} // initial fill
 	for i := 0; i < workers; i++ {
@@ -107,10 +112,10 @@ func (p *Pool) fill() {
 				return
 			default:
 			}
-			key, err := p.generate(p.bits)
+			key, err := p.generate(p.spec)
 			if err != nil {
 				// Generation only fails on entropy exhaustion or a bogus
-				// bit size; parking the worker is safer than spinning.
+				// spec; parking the worker is safer than spinning.
 				return
 			}
 			p.generated.Add(1)
@@ -123,24 +128,27 @@ func (p *Pool) fill() {
 	}
 }
 
-// Bits reports the key size the pool stocks.
-func (p *Pool) Bits() int {
+// Spec reports the key spec the pool stocks.
+func (p *Pool) Spec() pki.KeySpec {
 	if p == nil {
-		return 0
+		return pki.KeySpec{}.Normalize()
 	}
-	return p.bits
+	return p.spec
 }
 
-// Get returns a key of the requested bit size. bits == 0 selects
-// pki.DefaultKeyBits. A pooled key is served only when its size matches
-// the request exactly; otherwise — wrong size, drained buffer, nil or
-// closed pool — Get generates synchronously, honoring ctx (and Close)
-// during the fallback.
-func (p *Pool) Get(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
-	if bits == 0 {
-		bits = pki.DefaultKeyBits
-	}
-	if p != nil && bits == p.bits {
+// Bits reports the RSA key size the pool stocks (0 for non-RSA pools).
+func (p *Pool) Bits() int {
+	return p.Spec().Bits
+}
+
+// Get returns a key of the requested spec (the zero spec selects RSA at
+// pki.DefaultKeyBits). A pooled key is served only when the normalized
+// spec matches the pool's exactly; otherwise — different algorithm or
+// size, drained buffer, nil or closed pool — Get generates synchronously,
+// honoring ctx (and Close) during the fallback.
+func (p *Pool) Get(ctx context.Context, spec pki.KeySpec) (crypto.Signer, error) {
+	spec = spec.Normalize()
+	if p != nil && spec == p.spec {
 		select {
 		case key := <-p.keys:
 			p.hits.Add(1)
@@ -153,7 +161,7 @@ func (p *Pool) Get(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
 		p.misses.Add(1)
 		p.signalRefill()
 	}
-	return p.generateSync(ctx, bits)
+	return p.generateSync(ctx, spec)
 }
 
 // signalRefill wakes a sleeping worker; the 1-slot buffer coalesces
@@ -168,8 +176,8 @@ func (p *Pool) signalRefill() {
 // generateSync is the fallback path: generation runs in its own goroutine
 // so a context cancellation (or pool Close) unblocks the caller
 // immediately rather than after the current key search completes.
-func (p *Pool) generateSync(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
-	gen := pki.GenerateKey
+func (p *Pool) generateSync(ctx context.Context, spec pki.KeySpec) (crypto.Signer, error) {
+	gen := pki.GenerateSigner
 	var done chan struct{}
 	if p != nil {
 		gen = p.generate
@@ -183,12 +191,12 @@ func (p *Pool) generateSync(ctx context.Context, bits int) (*rsa.PrivateKey, err
 		}
 	}
 	type result struct {
-		key *rsa.PrivateKey
+		key crypto.Signer
 		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		key, err := gen(bits)
+		key, err := gen(spec)
 		ch <- result{key, err}
 	}()
 	select {
@@ -218,8 +226,9 @@ func (p *Pool) Close() {
 type Stats struct {
 	// Hits counts Gets served from the warm buffer.
 	Hits int64
-	// Misses counts Gets that found the buffer drained (wrong-size
-	// requests are not counted — the pool never stocked them).
+	// Misses counts Gets that found the buffer drained (requests for a
+	// spec the pool does not stock are not counted — the pool never
+	// stocked them).
 	Misses int64
 	// Generated counts keys produced by the background workers.
 	Generated int64

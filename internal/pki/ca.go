@@ -1,6 +1,7 @@
 package pki
 
 import (
+	"crypto"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/x509"
@@ -15,6 +16,7 @@ import (
 // certificates and maintains a revocation list.
 type CA struct {
 	cred *Credential
+	alg  KeyAlgorithm
 
 	mu         sync.Mutex
 	nextSerial int64
@@ -25,13 +27,18 @@ type CA struct {
 type CAConfig struct {
 	// Name is the CA's own DN, e.g. /C=US/O=Example Grid/CN=Example CA.
 	Name DN
-	// KeyBits is the RSA modulus size; 0 selects DefaultKeyBits.
+	// Algorithm selects the key algorithm for the CA key and for keys the
+	// CA generates in IssueCredential/IssueHostCredential; the zero value
+	// is RSA (paper fidelity).
+	Algorithm KeyAlgorithm
+	// KeyBits is the RSA modulus size; 0 selects DefaultKeyBits. Ignored
+	// for non-RSA algorithms.
 	KeyBits int
 	// Lifetime of the self-signed CA certificate; 0 selects ten years.
 	Lifetime time.Duration
 	// Key optionally supplies a pre-generated key (tests, deterministic
 	// fixtures); if nil a fresh key is generated.
-	Key *rsa.PrivateKey
+	Key crypto.Signer
 }
 
 // NewCA creates a self-signed certificate authority.
@@ -42,7 +49,7 @@ func NewCA(cfg CAConfig) (*CA, error) {
 	key := cfg.Key
 	if key == nil {
 		var err error
-		key, err = GenerateKey(cfg.KeyBits)
+		key, err = GenerateSigner(KeySpec{Algorithm: cfg.Algorithm, Bits: cfg.KeyBits})
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +72,7 @@ func NewCA(cfg CAConfig) (*CA, error) {
 		BasicConstraintsValid: true,
 		IsCA:                  true,
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, key.Public(), key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: self-sign CA: %w", err)
 	}
@@ -75,6 +82,7 @@ func NewCA(cfg CAConfig) (*CA, error) {
 	}
 	return &CA{
 		cred:       &Credential{Certificate: cert, PrivateKey: key},
+		alg:        cfg.Algorithm,
 		nextSerial: 2,
 		revoked:    make(map[string]time.Time),
 	}, nil
@@ -122,7 +130,7 @@ func (ca *CA) serial() *big.Int {
 // IssueRequest describes a certificate to be issued.
 type IssueRequest struct {
 	Subject   DN
-	PublicKey *rsa.PublicKey
+	PublicKey crypto.PublicKey
 	Lifetime  time.Duration // 0 selects one year
 	// IsHost marks host/service certificates; DNSNames are added and the
 	// server-auth extended key usage is asserted.
@@ -146,13 +154,19 @@ func (ca *CA) Issue(req IssueRequest) (*x509.Certificate, error) {
 	if err != nil {
 		return nil, err
 	}
+	// keyEncipherment is an RSA key-exchange concept; asserting it on a
+	// signature-only key (ECDSA, Ed25519) would be wrong per RFC 5280.
+	keyUsage := x509.KeyUsageDigitalSignature
+	if _, isRSA := req.PublicKey.(*rsa.PublicKey); isRSA {
+		keyUsage |= x509.KeyUsageKeyEncipherment
+	}
 	now := time.Now()
 	tmpl := &x509.Certificate{
 		SerialNumber:          ca.serial(),
 		RawSubject:            rawSubject,
 		NotBefore:             now.Add(-5 * time.Minute),
 		NotAfter:              now.Add(lifetime),
-		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		KeyUsage:              keyUsage,
 		BasicConstraintsValid: true,
 		IsCA:                  false,
 		ExtKeyUsage: []x509.ExtKeyUsage{
@@ -170,11 +184,11 @@ func (ca *CA) Issue(req IssueRequest) (*x509.Certificate, error) {
 	return x509.ParseCertificate(der)
 }
 
-// IssueCredential generates a key pair and issues a certificate for it in
-// one step, returning a complete credential. keyBits == 0 selects
-// DefaultKeyBits.
+// IssueCredential generates a key pair (of the CA's configured algorithm)
+// and issues a certificate for it in one step, returning a complete
+// credential. keyBits == 0 selects DefaultKeyBits (RSA only).
 func (ca *CA) IssueCredential(subject DN, lifetime time.Duration, keyBits int) (*Credential, error) {
-	key, err := GenerateKey(keyBits)
+	key, err := GenerateSigner(KeySpec{Algorithm: ca.alg, Bits: keyBits})
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +196,8 @@ func (ca *CA) IssueCredential(subject DN, lifetime time.Duration, keyBits int) (
 }
 
 // IssueCredentialForKey issues a certificate for an existing key.
-func (ca *CA) IssueCredentialForKey(subject DN, lifetime time.Duration, key *rsa.PrivateKey) (*Credential, error) {
-	cert, err := ca.Issue(IssueRequest{Subject: subject, PublicKey: &key.PublicKey, Lifetime: lifetime})
+func (ca *CA) IssueCredentialForKey(subject DN, lifetime time.Duration, key crypto.Signer) (*Credential, error) {
+	cert, err := ca.Issue(IssueRequest{Subject: subject, PublicKey: key.Public(), Lifetime: lifetime})
 	if err != nil {
 		return nil, err
 	}
@@ -193,13 +207,13 @@ func (ca *CA) IssueCredentialForKey(subject DN, lifetime time.Duration, key *rsa
 // IssueHostCredential issues a host/service credential for hostname with
 // subject CN=hostname appended to base.
 func (ca *CA) IssueHostCredential(base DN, hostname string, lifetime time.Duration, keyBits int) (*Credential, error) {
-	key, err := GenerateKey(keyBits)
+	key, err := GenerateSigner(KeySpec{Algorithm: ca.alg, Bits: keyBits})
 	if err != nil {
 		return nil, err
 	}
 	cert, err := ca.Issue(IssueRequest{
 		Subject:   base.WithCN(hostname),
-		PublicKey: &key.PublicKey,
+		PublicKey: key.Public(),
 		Lifetime:  lifetime,
 		IsHost:    true,
 		DNSNames:  []string{hostname},

@@ -1,7 +1,7 @@
 package pki
 
 import (
-	"crypto/rsa"
+	"crypto"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -12,10 +12,11 @@ import (
 // Credential is a set of Grid credentials (paper §2.1): a certificate, the
 // matching private key, and any intermediate certificates between the leaf
 // and a trust anchor (for proxy credentials: the issuing proxies and the
-// end-entity certificate, leaf's issuer first).
+// end-entity certificate, leaf's issuer first). The key is any supported
+// signer (see KeyAlgorithm); the paper-era deployment used RSA only.
 type Credential struct {
 	Certificate *x509.Certificate
-	PrivateKey  *rsa.PrivateKey
+	PrivateKey  crypto.Signer
 	Chain       []*x509.Certificate
 }
 
@@ -60,11 +61,10 @@ func (c *Credential) Validate(now time.Time) error {
 	if c.PrivateKey == nil {
 		return errors.New("pki: credential has no private key")
 	}
-	pub, ok := c.Certificate.PublicKey.(*rsa.PublicKey)
-	if !ok {
-		return errors.New("pki: certificate public key is not RSA")
+	if _, ok := AlgorithmOf(c.Certificate.PublicKey); !ok {
+		return errors.New("pki: certificate public key algorithm not supported")
 	}
-	if pub.N.Cmp(c.PrivateKey.N) != 0 || pub.E != c.PrivateKey.E {
+	if !PublicKeysEqual(c.Certificate.PublicKey, c.PrivateKey.Public()) {
 		return errors.New("pki: private key does not match certificate")
 	}
 	if now.Before(c.Certificate.NotBefore) {
@@ -103,8 +103,8 @@ func (c *Credential) EncodeEncryptedPEM(passphrase []byte, iter int) ([]byte, er
 }
 
 // DecodeCredentialPEM parses a credential from PEM data. If the key block is
-// an ENCRYPTED GRID KEY, passphrase is required; for an unencrypted RSA
-// PRIVATE KEY block, passphrase is ignored. The first certificate is taken
+// an ENCRYPTED GRID KEY, passphrase is required; for an unencrypted private
+// key block, passphrase is ignored. The first certificate is taken
 // as the leaf and the remainder as the chain.
 func DecodeCredentialPEM(data, passphrase []byte) (*Credential, error) {
 	certs, err := DecodeCertsPEM(data)

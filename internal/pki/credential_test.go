@@ -75,7 +75,7 @@ func TestCredentialPEMRoundTrip(t *testing.T) {
 	if !bytes.Equal(back.Certificate.Raw, cred.Certificate.Raw) {
 		t.Error("certificate changed in round trip")
 	}
-	if back.PrivateKey.N.Cmp(cred.PrivateKey.N) != 0 {
+	if !PublicKeysEqual(back.PrivateKey.Public(), cred.PrivateKey.Public()) {
 		t.Error("key changed in round trip")
 	}
 }
@@ -115,7 +115,7 @@ func TestCredentialEncryptedPEM(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode with passphrase: %v", err)
 	}
-	if back.PrivateKey.N.Cmp(cred.PrivateKey.N) != 0 {
+	if !PublicKeysEqual(back.PrivateKey.Public(), cred.PrivateKey.Public()) {
 		t.Error("key mismatch after decrypt")
 	}
 	if _, err := DecodeCredentialPEM(data, []byte("wrong")); !errors.Is(err, ErrBadPassphrase) {

@@ -1,12 +1,11 @@
 package pki
 
 import (
+	"crypto"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha256"
-	"crypto/x509"
 	"encoding/binary"
 	"encoding/pem"
 	"errors"
@@ -28,7 +27,8 @@ import (
 //	iter    uint32   PBKDF2 iteration count (big endian)
 //	salt    [16]byte
 //	nonce   [12]byte
-//	sealed  []byte   AES-256-GCM(ciphertext||tag) of PKCS#1 DER
+//	sealed  []byte   AES-256-GCM(ciphertext||tag) of the key DER
+//	                 (PKCS#1 for RSA, PKCS#8 otherwise)
 const (
 	sealMagic        = "GRIDKEY1"
 	sealSaltLen      = 16
@@ -116,8 +116,11 @@ func OpenBytes(container, passphrase []byte) ([]byte, error) {
 
 // EncryptKeyPEM seals a private key under the pass phrase and renders it as
 // an ENCRYPTED GRID KEY PEM block. iter <= 0 selects DefaultKDFIterations.
-func EncryptKeyPEM(key *rsa.PrivateKey, passphrase []byte, iter int) ([]byte, error) {
-	der := x509.MarshalPKCS1PrivateKey(key)
+func EncryptKeyPEM(key crypto.Signer, passphrase []byte, iter int) ([]byte, error) {
+	der, err := marshalKeyDER(key)
+	if err != nil {
+		return nil, err
+	}
 	defer WipeBytes(der)
 	container, err := SealBytes(der, passphrase, iter)
 	if err != nil {
@@ -127,8 +130,8 @@ func EncryptKeyPEM(key *rsa.PrivateKey, passphrase []byte, iter int) ([]byte, er
 }
 
 // DecryptKeyPEM opens the first ENCRYPTED GRID KEY block with the pass
-// phrase and parses the contained RSA key.
-func DecryptKeyPEM(data, passphrase []byte) (*rsa.PrivateKey, error) {
+// phrase and parses the contained private key.
+func DecryptKeyPEM(data, passphrase []byte) (crypto.Signer, error) {
 	for block, rest := pem.Decode(data); block != nil; block, rest = pem.Decode(rest) {
 		if block.Type != pemTypeEncrypted {
 			continue
@@ -137,7 +140,7 @@ func DecryptKeyPEM(data, passphrase []byte) (*rsa.PrivateKey, error) {
 		if err != nil {
 			return nil, err
 		}
-		key, err := x509.ParsePKCS1PrivateKey(der)
+		key, err := parseKeyDER(der)
 		WipeBytes(der) // parsed (or unparseable); the DER image is done
 		if err != nil {
 			return nil, fmt.Errorf("pki: parse decrypted key: %w", err)

@@ -13,7 +13,7 @@ func TestDecodeKeyPEMSkipsOtherBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key.N.Cmp(cred.PrivateKey.N) != 0 {
+	if !PublicKeysEqual(key.Public(), cred.PrivateKey.Public()) {
 		t.Error("wrong key returned")
 	}
 	if _, err := DecodeKeyPEM(EncodeCertPEM(cred.Certificate)); err == nil {

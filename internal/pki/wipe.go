@@ -1,6 +1,9 @@
 package pki
 
 import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/ed25519"
 	"crypto/rsa"
 	"math/big"
 )
@@ -41,6 +44,22 @@ func WipeKey(k *rsa.PrivateKey) {
 		wipeBig(crt.Exp)
 		wipeBig(crt.Coeff)
 		wipeBig(crt.R)
+	}
+}
+
+// WipeSigner zeroes the private components of any supported key type in
+// place: the RSA CRT material (WipeKey), an ECDSA scalar, or the Ed25519
+// seed-and-key bytes. Unsupported types are left untouched — there is
+// nothing safe to reach into.
+func WipeSigner(k crypto.Signer) {
+	switch key := k.(type) {
+	case *rsa.PrivateKey:
+		WipeKey(key)
+	case *ecdsa.PrivateKey:
+		wipeBig(key.D)
+	case ed25519.PrivateKey:
+		// The slice holds seed || public key; the first half is the secret.
+		WipeBytes(key)
 	}
 }
 

@@ -1,0 +1,62 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/rsa"
+	"testing"
+)
+
+func TestWipeSignerRSA(t *testing.T) {
+	key, err := GenerateSigner(KeySpec{Algorithm: AlgRSA, Bits: DemoKeyBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey := key.(*rsa.PrivateKey)
+	WipeSigner(key)
+	if rsaKey.D.Sign() != 0 {
+		t.Error("private exponent survived WipeSigner")
+	}
+	for i, p := range rsaKey.Primes {
+		if p.Sign() != 0 {
+			t.Errorf("prime %d survived WipeSigner", i)
+		}
+	}
+}
+
+func TestWipeSignerECDSA(t *testing.T) {
+	key, err := GenerateSigner(KeySpec{Algorithm: AlgECDSAP256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecKey := key.(*ecdsa.PrivateKey)
+	if ecKey.D.Sign() == 0 {
+		t.Fatal("generated scalar is zero; test premise broken")
+	}
+	WipeSigner(key)
+	if ecKey.D.Sign() != 0 {
+		t.Error("ECDSA scalar survived WipeSigner")
+	}
+}
+
+func TestWipeSignerEd25519(t *testing.T) {
+	key, err := GenerateSigner(KeySpec{Algorithm: AlgEd25519})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edKey := key.(ed25519.PrivateKey)
+	WipeSigner(key)
+	for i, b := range edKey {
+		if b != 0 {
+			t.Errorf("ed25519 key byte %d survived WipeSigner", i)
+			break
+		}
+	}
+}
+
+// WipeSigner must not panic on nil or types it cannot safely reach into.
+func TestWipeSignerUnsupported(t *testing.T) {
+	WipeSigner(nil)
+	var rsaNil *rsa.PrivateKey
+	WipeSigner(rsaNil)
+}

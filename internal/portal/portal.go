@@ -51,7 +51,11 @@ type Config struct {
 	// ProxyLifetime is requested from the repository at login (0 = 2h,
 	// the paper's "a few hours").
 	ProxyLifetime time.Duration
-	// KeyBits sizes delegation keys (0 = pki.DefaultKeyBits).
+	// KeyAlgorithm selects the delegation key algorithm (zero value = RSA,
+	// the paper-fidelity default).
+	KeyAlgorithm pki.KeyAlgorithm
+	// KeyBits sizes RSA delegation keys (0 = pki.DefaultKeyBits); ignored
+	// for non-RSA algorithms.
 	KeyBits int
 	// KeySource, when non-nil, supplies pre-generated delegation key pairs
 	// (typically a keypool.Pool sized by the -keypool flag), taking RSA
@@ -157,6 +161,7 @@ func (p *Portal) repoClient(repoAddr string) (core.Repository, error) {
 			Credential:        p.cfg.Credential,
 			Roots:             p.cfg.Roots,
 			ExpectedServer:    p.cfg.ExpectedMyProxy,
+			KeyAlgorithm:      p.cfg.KeyAlgorithm,
 			KeyBits:           p.cfg.KeyBits,
 			KeySource:         p.cfg.KeySource,
 		})
@@ -170,6 +175,7 @@ func (p *Portal) repoClient(repoAddr string) (core.Repository, error) {
 			Roots:          p.cfg.Roots,
 			Addr:           repoAddr,
 			ExpectedServer: p.cfg.ExpectedMyProxy,
+			KeyAlgorithm:   p.cfg.KeyAlgorithm,
 			KeyBits:        p.cfg.KeyBits,
 			KeySource:      p.cfg.KeySource,
 		}

@@ -106,7 +106,7 @@ func (s *Sessions) Lookup(token string) (*Session, error) {
 // credential" (§4.3) is taken at the memory level, not just the table level.
 func scrubSession(sess *Session) {
 	if sess.Credential != nil {
-		pki.WipeKey(sess.Credential.PrivateKey)
+		pki.WipeSigner(sess.Credential.PrivateKey)
 		sess.Credential = nil
 	}
 }

@@ -54,11 +54,18 @@ const (
 	// CmdRetrieve downloads a sealed long-term credential
 	// (myproxy-retrieve, paper §6.1).
 	CmdRetrieve Command = 6
+	// CmdSession asks the server to switch the connection into multiplexed
+	// session mode (stream-framed pipelined exchanges, internal/gsi
+	// Session). A server that predates sessions — or has them disabled —
+	// answers with an error response, which the client treats as a clean
+	// downgrade signal, not a failure.
+	CmdSession Command = 7
 )
 
 var commandNames = map[Command]string{
 	CmdGet: "GET", CmdPut: "PUT", CmdInfo: "INFO", CmdDestroy: "DESTROY",
 	CmdChangePassphrase: "CHANGE_PASSPHRASE", CmdStore: "STORE", CmdRetrieve: "RETRIEVE",
+	CmdSession: "SESSION",
 }
 
 func (c Command) String() string {
@@ -115,6 +122,13 @@ type Request struct {
 	// renewer ACL plus identity match with the stored credential, not by
 	// pass phrase (paper §6.6).
 	Renewal bool
+	// KeyAlg optionally names the key algorithm the server should use when
+	// it generates the key pair for a server-side delegation (PUT with a
+	// server KeySource), e.g. "rsa-2048", "ecdsa-p256", "ed25519". Legacy
+	// servers ignore unknown keys, so the field downgrades safely to the
+	// server default. Client-generated keys (GET) need no field: the CSR
+	// itself carries the algorithm.
+	KeyAlg string
 }
 
 // ResponseCode mirrors the C implementation's RESPONSE values. The verdict
@@ -277,6 +291,9 @@ func MarshalRequest(req *Request) ([]byte, error) {
 	if req.Renewal {
 		w.put("RENEWAL", "1")
 	}
+	if req.KeyAlg != "" {
+		w.put("KEY_ALG", escape(req.KeyAlg))
+	}
 	return []byte(w.b.String()), nil
 }
 
@@ -355,6 +372,8 @@ func ParseRequest(data []byte) (*Request, error) {
 			req.Renewable = val == "1"
 		case "RENEWAL":
 			req.Renewal = val == "1"
+		case "KEY_ALG":
+			req.KeyAlg = val
 		default:
 			// Unknown keys are ignored for forward compatibility, matching
 			// the prototype protocol's permissiveness (§6.4).

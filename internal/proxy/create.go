@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"context"
+	"crypto"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/x509"
@@ -17,10 +18,11 @@ import (
 // KeySource supplies private keys for freshly minted proxies. It is the
 // seam through which a background pre-generation pool (internal/keypool)
 // feeds the hot path; implementations must fall back to synchronous
-// generation rather than fail when they cannot serve a pooled key.
-// A nil KeySource means pki.GenerateKey.
+// generation rather than fail when they cannot serve a pooled key — in
+// particular when asked for a spec they do not stock.
+// A nil KeySource means pki.GenerateSigner.
 type KeySource interface {
-	Get(ctx context.Context, bits int) (*rsa.PrivateKey, error)
+	Get(ctx context.Context, spec pki.KeySpec) (crypto.Signer, error)
 }
 
 // Type selects the proxy certificate style.
@@ -75,7 +77,13 @@ const DefaultLifetime = 12 * time.Hour
 type Options struct {
 	Type     Type
 	Lifetime time.Duration // 0 selects DefaultLifetime; clamped to issuer validity
-	KeyBits  int           // for New only; 0 selects pki.DefaultKeyBits
+
+	// KeyAlgorithm selects the algorithm for the proxy key pair (New only);
+	// the zero value is RSA, the paper-fidelity default.
+	KeyAlgorithm pki.KeyAlgorithm
+	// KeyBits is the RSA modulus size (New only); 0 selects
+	// pki.DefaultKeyBits. Ignored for non-RSA algorithms.
+	KeyBits int
 
 	// KeySource, when non-nil, supplies the key pair for New (typically a
 	// keypool.Pool). nil generates synchronously.
@@ -101,12 +109,15 @@ func PathLen(n int) *int { return &n }
 // The issuer may itself be a proxy (delegation chaining, paper §2.4). The
 // returned certificate's subject is the issuer's subject plus one CN
 // component, per the GSI/RFC-3820 naming discipline.
-func Create(issuer *pki.Credential, pub *rsa.PublicKey, opts Options) (*x509.Certificate, error) {
+func Create(issuer *pki.Credential, pub crypto.PublicKey, opts Options) (*x509.Certificate, error) {
 	if issuer == nil || issuer.Certificate == nil || issuer.PrivateKey == nil {
 		return nil, errors.New("proxy: issuer credential incomplete")
 	}
 	if pub == nil {
 		return nil, errors.New("proxy: nil public key")
+	}
+	if _, ok := pki.AlgorithmOf(pub); !ok {
+		return nil, errors.New("proxy: unsupported public key algorithm")
 	}
 	if issuer.Certificate.IsCA {
 		return nil, errors.New("proxy: a CA certificate must not issue proxies")
@@ -200,15 +211,20 @@ func Create(issuer *pki.Credential, pub *rsa.PublicKey, opts Options) (*x509.Cer
 		return nil, err
 	}
 
+	// RFC 3820 §3.6: digitalSignature is required for further delegation.
+	// keyEncipherment supports RSA key exchange in the era-appropriate SSL
+	// cipher suites; asserting it on a signature-only key (ECDSA, Ed25519)
+	// would be wrong per RFC 5280.
+	keyUsage := x509.KeyUsageDigitalSignature
+	if _, isRSA := pub.(*rsa.PublicKey); isRSA {
+		keyUsage |= x509.KeyUsageKeyEncipherment
+	}
 	tmpl := &x509.Certificate{
-		SerialNumber: serial,
-		RawSubject:   rawSubject,
-		NotBefore:    notBefore,
-		NotAfter:     notAfter,
-		// RFC 3820 §3.6: digitalSignature is required for further
-		// delegation; keyEncipherment supports RSA key exchange in the
-		// era-appropriate SSL cipher suites.
-		KeyUsage:        x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		SerialNumber:    serial,
+		RawSubject:      rawSubject,
+		NotBefore:       notBefore,
+		NotAfter:        notAfter,
+		KeyUsage:        keyUsage,
 		ExtraExtensions: extra,
 		// RFC 3820 §3.7: proxies MUST NOT carry basicConstraints CA=true.
 		// We omit basicConstraints entirely, matching Globus output.
@@ -226,17 +242,18 @@ func Create(issuer *pki.Credential, pub *rsa.PublicKey, opts Options) (*x509.Cer
 // chain = issuer certificate + issuer's chain. This is what
 // grid-proxy-init does locally (paper §2.3).
 func New(issuer *pki.Credential, opts Options) (*pki.Credential, error) {
-	var key *rsa.PrivateKey
+	spec := pki.KeySpec{Algorithm: opts.KeyAlgorithm, Bits: opts.KeyBits}
+	var key crypto.Signer
 	var err error
 	if opts.KeySource != nil {
-		key, err = opts.KeySource.Get(context.Background(), opts.KeyBits)
+		key, err = opts.KeySource.Get(context.Background(), spec)
 	} else {
-		key, err = pki.GenerateKey(opts.KeyBits)
+		key, err = pki.GenerateSigner(spec)
 	}
 	if err != nil {
 		return nil, err
 	}
-	cert, err := Create(issuer, &key.PublicKey, opts)
+	cert, err := Create(issuer, key.Public(), opts)
 	if err != nil {
 		return nil, err
 	}

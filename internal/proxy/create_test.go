@@ -171,16 +171,16 @@ func TestCreateRejectsCAIssuer(t *testing.T) {
 
 func TestCreateRejectsIncompleteIssuer(t *testing.T) {
 	user := testpki.User(t, "proxy-alice")
-	if _, err := Create(nil, &user.PrivateKey.PublicKey, Options{}); err == nil {
+	if _, err := Create(nil, user.PrivateKey.Public(), Options{}); err == nil {
 		t.Error("nil issuer accepted")
 	}
-	if _, err := Create(&pki.Credential{Certificate: user.Certificate}, &user.PrivateKey.PublicKey, Options{}); err == nil {
+	if _, err := Create(&pki.Credential{Certificate: user.Certificate}, user.PrivateKey.Public(), Options{}); err == nil {
 		t.Error("issuer without key accepted")
 	}
 	if _, err := Create(user, nil, Options{}); err == nil {
 		t.Error("nil public key accepted")
 	}
-	if _, err := Create(user, &user.PrivateKey.PublicKey, Options{Type: Type(99)}); err == nil {
+	if _, err := Create(user, user.PrivateKey.Public(), Options{Type: Type(99)}); err == nil {
 		t.Error("unknown type accepted")
 	}
 }

@@ -152,7 +152,7 @@ func TestVerifyRejectsForgedProxy(t *testing.T) {
 		KeyUsage:     x509.KeyUsageDigitalSignature,
 	}
 	impostorDER, err := x509.CreateCertificate(rand.Reader, impostorTmpl, impostorTmpl,
-		&mallory.PrivateKey.PublicKey, mallory.PrivateKey)
+		mallory.PrivateKey.Public(), mallory.PrivateKey)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,9 +31,15 @@ type Config struct {
 	Portals int
 	// Users is the number of user identities. Default 1.
 	Users int
-	// KeyBits sizes all keys; default 1024 for measurement speed (the
-	// 2001 deployment used comparable sizes).
+	// KeyBits sizes all RSA keys; default 1024 for measurement speed (the
+	// 2001 deployment used comparable sizes). Ignored for delegation keys
+	// when KeyAlgorithm is non-RSA.
 	KeyBits int
+	// KeyAlgorithm selects the delegation key algorithm for clients, the
+	// shared keypair pool, and server-side generation. The zero value is
+	// RSA, the paper-fidelity default; identity and CA keys stay RSA
+	// regardless so the algorithm sweep isolates the hot path.
+	KeyAlgorithm pki.KeyAlgorithm
 	// KDFIterations for repository sealing; default 1024 (benchmarks
 	// sweep this; production default is pki.DefaultKDFIterations).
 	KDFIterations int
@@ -75,6 +81,7 @@ type Deployment struct {
 	Passphrase string
 
 	keyBits       int
+	keyAlg        pki.KeyAlgorithm
 	kdfIterations int
 	replication   int
 	probation     time.Duration
@@ -153,10 +160,11 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		Gridmap:        gsi.NewGridmap(),
 		Passphrase:     "simulation pass phrase",
 		keyBits:        cfg.KeyBits,
+		keyAlg:         cfg.KeyAlgorithm,
 		kdfIterations:  cfg.KDFIterations,
 		replication:    cfg.ReplicationFactor,
 		probation:      cfg.Probation,
-		keys:           keypool.New(cfg.KeyPoolSize, 0, cfg.KeyBits),
+		keys:           keypool.New(cfg.KeyPoolSize, 0, pki.KeySpec{Algorithm: cfg.KeyAlgorithm, Bits: cfg.KeyBits}),
 		partitioned:    make(map[string]bool),
 		clients:        make(map[clientKey]*core.Client),
 		clusterClients: make(map[int]*cluster.Client),
@@ -255,9 +263,10 @@ func (d *Deployment) startRepo(i int, addr string) error {
 		AcceptedCredentials:  policy.NewACL("/C=US/O=Sim Grid/*"),
 		AuthorizedRetrievers: policy.NewACL("/C=US/O=Sim Grid/*"),
 		AuthorizedRenewers:   policy.NewACL("/C=US/O=Sim Grid/*"),
-		KDFIterations:        d.kdfIterations,
-		DelegationKeyBits:    d.keyBits,
-		KeySource:            d.keys,
+		KDFIterations:          d.kdfIterations,
+		DelegationKeyAlgorithm: d.keyAlg,
+		DelegationKeyBits:      d.keyBits,
+		KeySource:              d.keys,
 		// A short drain makes KillRepo behave like a crash: in-flight
 		// sessions are cut, which is exactly the fault failover must absorb.
 		DrainTimeout: 250 * time.Millisecond,
@@ -390,6 +399,7 @@ func (d *Deployment) client(key clientKey, cred *pki.Credential) *core.Client {
 		Roots:          d.Roots,
 		Addr:           d.RepoAddrs[key.repo],
 		ExpectedServer: "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyAlgorithm:   d.keyAlg,
 		KeyBits:        d.keyBits,
 		KeySource:      d.keys,
 		DialContext:    d.dialContext,
@@ -419,6 +429,7 @@ func (d *Deployment) ClusterClient(p int) (*cluster.Client, error) {
 		Credential:        d.Portals[p],
 		Roots:             d.Roots,
 		ExpectedServer:    "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyAlgorithm:      d.keyAlg,
 		KeyBits:           d.keyBits,
 		KeySource:         d.keys,
 		DialContext:       d.dialContext,
@@ -444,6 +455,7 @@ func (d *Deployment) ClusterUserClient(u int) (*cluster.Client, error) {
 		Credential:        d.Users[u],
 		Roots:             d.Roots,
 		ExpectedServer:    "/C=US/O=Sim Grid/CN=myproxy*",
+		KeyAlgorithm:      d.keyAlg,
 		KeyBits:           d.keyBits,
 		KeySource:         d.keys,
 		DialContext:       d.dialContext,
@@ -496,5 +508,5 @@ func (d *Deployment) Get(ctx context.Context, p, u, r int, lifetime time.Duratio
 // UserProxy creates a local short-term proxy for user u, as
 // grid-proxy-init would (paper §2.5).
 func (d *Deployment) UserProxy(u int, lifetime time.Duration) (*pki.Credential, error) {
-	return proxy.New(d.Users[u], proxy.Options{Lifetime: lifetime, KeyBits: d.keyBits, KeySource: d.keys})
+	return proxy.New(d.Users[u], proxy.Options{Lifetime: lifetime, KeyAlgorithm: d.keyAlg, KeyBits: d.keyBits, KeySource: d.keys})
 }

@@ -128,7 +128,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !ok || e.Description != "primary identity" || len(e.Tags) != 2 {
 		t.Errorf("main = %+v", e)
 	}
-	if e.Credential.PrivateKey.N.Cmp(testpki.User(t, "wallet-main").PrivateKey.N) != 0 {
+	if !pki.PublicKeysEqual(e.Credential.PrivateKey.Public(), testpki.User(t, "wallet-main").PrivateKey.Public()) {
 		t.Error("key mismatch after round trip")
 	}
 	// Wrong pass phrase must fail.

@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench-compare.sh — diff the two most recent BENCH_<n>.json trajectory
+# points and flag >10% ns/op regressions on benchmarks present in both.
+#
+# Usage:
+#   scripts/bench-compare.sh [OLD.json NEW.json]
+#
+# With no arguments the two highest-numbered BENCH_<n>.json in the
+# repository root are compared. Exits nonzero if any shared benchmark
+# regressed by more than the threshold, so CI can gate on it. New or
+# removed benchmarks are reported but never fail the comparison.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD=10 # percent ns/op growth tolerated before flagging
+
+if [ $# -eq 2 ]; then
+	old="$1"
+	new="$2"
+else
+	prev=''
+	latest=''
+	n=1
+	while [ -e "BENCH_${n}.json" ]; do
+		prev="$latest"
+		latest="BENCH_${n}.json"
+		n=$((n + 1))
+	done
+	if [ -z "$prev" ]; then
+		echo "bench-compare: need at least two BENCH_<n>.json points" >&2
+		exit 2
+	fi
+	old="$prev"
+	new="$latest"
+fi
+
+echo "comparing $old -> $new (flagging ns/op regressions > ${THRESHOLD}%)"
+
+# The emitter writes one result object per line, so a line-oriented parse
+# is reliable without a JSON tool. Only the "results" arrays are read;
+# an embedded "baseline" section is ignored.
+extract() {
+	awk '
+	/"results": \[/ { in_results = 1; next }
+	in_results && /^  \]/ { in_results = 0 }
+	in_results && /"name"/ {
+		name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+		ns = $0; sub(/.*"ns_op": /, "", ns); sub(/[,}].*/, "", ns)
+		print name, ns
+	}
+	' "$1"
+}
+
+extract "$old" >/tmp/bench_old.$$
+extract "$new" >/tmp/bench_new.$$
+trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
+
+awk -v threshold="$THRESHOLD" '
+NR == FNR { old[$1] = $2; next }
+{
+	new[$1] = $2
+	if (!($1 in old)) { added++; next }
+	compared++
+	delta = 100 * ($2 - old[$1]) / old[$1]
+	if (delta > threshold) {
+		printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, old[$1], $2, delta
+		bad++
+	} else {
+		printf "ok         %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, old[$1], $2, delta
+	}
+}
+END {
+	for (name in old) if (!(name in new)) removed++
+	printf "\n%d compared, %d regressions, %d new, %d removed\n", \
+		compared + 0, bad + 0, added + 0, removed + 0
+	exit bad > 0 ? 1 : 0
+}
+' /tmp/bench_old.$$ /tmp/bench_new.$$

@@ -25,7 +25,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-DEPLOY_BENCH='BenchmarkFig1Init|BenchmarkFig2GetDelegation|BenchmarkFig3PortalFlow|BenchmarkScalabilityPortalsPerRepo|BenchmarkScalabilityReposPerPortal|BenchmarkPortalDay|BenchmarkRenewal'
+DEPLOY_BENCH='BenchmarkFig1Init|BenchmarkFig2GetDelegation|BenchmarkFig2Algorithms|BenchmarkFig2Multiplexed|BenchmarkFig3PortalFlow|BenchmarkScalabilityPortalsPerRepo|BenchmarkScalabilityReposPerPortal|BenchmarkPortalDay|BenchmarkRenewal'
 MICRO_BENCH='BenchmarkDelegationChain|BenchmarkProxyCreate|BenchmarkRestrictedVerify|BenchmarkOTPVerify|BenchmarkWireDelegation|BenchmarkChannelEstablish|BenchmarkCredstoreSealUnseal|BenchmarkKDF'
 DEPLOY_TIME='100x'
 MICRO_TIME='2s'
