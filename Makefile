@@ -15,21 +15,24 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md "Static-analysis gate" through "Interprocedural engine") — all
-# sixteen passes: the five syntactic ones, the flow-sensitive connleak,
+# DESIGN.md "Static-analysis gate" through "Hot-path cost dimension") — all
+# nineteen passes: the five syntactic ones, the flow-sensitive connleak,
 # zeroize, ctxdeadline and deferclose, the concurrency trio lockcheck,
-# guardedby and goroleak, and the distributed-protocol quartet retrysafe,
-# wgbalance, verdict and nilness, with obligations propagated
-# interprocedurally over the call graph. Exits nonzero on any finding not
-# covered by a //myproxy:allow pragma or the checked-in baseline (which is
-# currently empty: the repo self-check is clean).
+# guardedby and goroleak, the distributed-protocol quartet retrysafe,
+# wgbalance, verdict and nilness, and the hot-path cost trio secretescape,
+# hotalloc and hotblock, with obligations propagated interprocedurally over
+# the call graph. Exits nonzero on any finding not covered by a
+# //myproxy:allow pragma, the checked-in baseline (currently empty: the
+# repo self-check is clean), or the cost budget (vet-cost-budget.txt, the
+# grandfathered allocation profile of the hot path — new hot-cone
+# allocation sites fail the gate).
 lint:
-	$(GO) run ./cmd/myproxy-vet -baseline vet-baseline.txt ./...
+	$(GO) run ./cmd/myproxy-vet -baseline vet-baseline.txt -budget vet-cost-budget.txt ./...
 
 # vet-stats runs the same suite and reports per-pass wall time and finding
 # counts as JSON (on stderr, after any findings).
 vet-stats:
-	$(GO) run ./cmd/myproxy-vet -stats -baseline vet-baseline.txt ./...
+	$(GO) run ./cmd/myproxy-vet -stats -baseline vet-baseline.txt -budget vet-cost-budget.txt ./...
 
 # vet-self is the fast loop when developing an analyzer pass: the CFG and
 # call-graph unit tests and the golden fixtures only, no repo-wide load.
@@ -62,8 +65,9 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # bench-compare diffs the two most recent BENCH_<n>.json trajectory
-# points and fails on any shared benchmark regressing >10% in ns/op
-# (scripts/bench-compare.sh; scripts/bench.sh produces the points).
+# points and fails on any shared benchmark regressing >10% in ns/op or
+# allocs/op (scripts/bench-compare.sh; scripts/bench.sh produces the
+# points).
 bench-compare:
 	sh scripts/bench-compare.sh
 

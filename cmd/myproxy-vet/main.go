@@ -6,13 +6,15 @@
 //
 // Usage:
 //
-//	myproxy-vet [-json | -sarif] [-stats] [-baseline file] [patterns ...]
+//	myproxy-vet [-json | -sarif] [-stats] [-pass names] [-baseline file] [-budget file] [patterns ...]
 //
 // Patterns default to ./.... Exit status is 0 when clean, 1 when findings
 // were reported, 2 on load or usage errors. Findings are suppressed at a
 // specific site with //myproxy:allow <pass> <reason>; see DESIGN.md
 // ("Static-analysis gate"). -json emits the findings as a JSON object;
-// -sarif emits a SARIF 2.1.0 log for CI annotation upload.
+// -sarif emits a SARIF 2.1.0 log for CI annotation upload. -pass
+// name[,name...] restricts the run to the named passes (see -passes for
+// the registry) — the fast loop when developing or deburring one pass.
 //
 // For adopting a new pass over a codebase with existing findings,
 // -write-baseline records the current findings as "file: pass: message"
@@ -21,7 +23,11 @@
 // NEW findings fail the gate while the recorded debt is burned down.
 // Entries whose finding no longer fires in a file the run analyzed are
 // stale: -baseline prunes them from the file and prints each one, so the
-// baseline ratchets monotonically toward empty.
+// baseline ratchets monotonically toward empty. -budget names a second
+// file with the same format and pruning, kept separate on principle: the
+// baseline is debt being burned down, the budget (vet-cost-budget.txt)
+// is the grandfathered allocation profile of the hot path — cost-pass
+// findings recorded there are tolerated, anything new fails the gate.
 package main
 
 import (
@@ -43,9 +49,11 @@ func main() {
 	listPasses := flag.Bool("passes", false, "list the registered passes and exit")
 	stats := flag.Bool("stats", false, "emit per-pass wall-time and finding-count JSON to stderr")
 	baselineFile := flag.String("baseline", "", "suppress findings recorded in this baseline file; stale entries are pruned")
+	budgetFile := flag.String("budget", "", "additionally suppress findings recorded in this budget file (hot-path cost grandfathering, same format); stale entries are pruned")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to a baseline file and exit clean")
+	passFilter := flag.String("pass", "", "run only the named passes, comma-separated (see -passes for the registry)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json | -sarif] [-baseline file | -write-baseline file] [patterns ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: myproxy-vet [-json | -sarif] [-pass name[,name...]] [-baseline file [-budget file] | -write-baseline file] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,14 +66,21 @@ func main() {
 		for _, p := range analysis.Passes {
 			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
 		}
+		fmt.Printf("\nRun a subset with -pass name[,name...].\n")
 		return
+	}
+
+	passes, err := selectPasses(*passFilter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	rep, err := analysis.Run(patterns, analysis.Passes)
+	rep, err := analysis.Run(patterns, passes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
 		os.Exit(2)
@@ -85,36 +100,21 @@ func main() {
 		return
 	}
 
-	baselined := 0
+	analyzed := make(map[string]bool, len(rep.Files))
+	for _, f := range rep.Files {
+		analyzed[filepath.ToSlash(relativize(cwd, f))] = true
+	}
+	baselined, budgeted := 0, 0
 	if *baselineFile != "" {
-		known, err := loadBaseline(*baselineFile)
-		if err != nil {
+		if baselined, err = applyBaseline(*baselineFile, rep, analyzed); err != nil {
 			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
 			os.Exit(2)
 		}
-		matched := make(map[string]bool)
-		kept := rep.Findings[:0]
-		for _, d := range rep.Findings {
-			if k := baselineKey(d); known[k] {
-				baselined++
-				matched[k] = true
-			} else {
-				kept = append(kept, d)
-			}
-		}
-		rep.Findings = kept
-
-		analyzed := make(map[string]bool, len(rep.Files))
-		for _, f := range rep.Files {
-			analyzed[filepath.ToSlash(relativize(cwd, f))] = true
-		}
-		pruned, err := pruneBaseline(*baselineFile, known, matched, analyzed)
-		if err != nil {
+	}
+	if *budgetFile != "" {
+		if budgeted, err = applyBaseline(*budgetFile, rep, analyzed); err != nil {
 			fmt.Fprintf(os.Stderr, "myproxy-vet: %v\n", err)
 			os.Exit(2)
-		}
-		for _, k := range pruned {
-			fmt.Fprintf(os.Stderr, "myproxy-vet: baseline entry fixed, pruned: %s\n", k)
 		}
 	}
 
@@ -145,9 +145,9 @@ func main() {
 		for _, d := range rep.Findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Pass, d.Message)
 		}
-		if len(rep.Findings) > 0 || baselined > 0 {
-			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma, %d baselined\n",
-				len(rep.Findings), len(rep.Suppressed), baselined)
+		if len(rep.Findings) > 0 || baselined > 0 || budgeted > 0 {
+			fmt.Fprintf(os.Stderr, "myproxy-vet: %d finding(s), %d suppressed by pragma, %d baselined, %d budgeted\n",
+				len(rep.Findings), len(rep.Suppressed), baselined, budgeted)
 		}
 	}
 	if *stats {
@@ -161,6 +161,61 @@ func main() {
 	if len(rep.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectPasses resolves a -pass filter against the registry; an empty
+// filter selects everything.
+func selectPasses(filter string) ([]*analysis.Pass, error) {
+	if filter == "" {
+		return analysis.Passes, nil
+	}
+	byName := make(map[string]*analysis.Pass, len(analysis.Passes))
+	for _, p := range analysis.Passes {
+		byName[p.Name] = p
+	}
+	var out []*analysis.Pass
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("-pass: unknown pass %q (run -passes for the registry)", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// applyBaseline filters rep.Findings through one baseline-format file,
+// prunes its stale entries, and reports how many findings it absorbed.
+func applyBaseline(path string, rep *analysis.Report, analyzed map[string]bool) (int, error) {
+	known, err := loadBaseline(path)
+	if err != nil {
+		return 0, err
+	}
+	matched := make(map[string]bool)
+	absorbed := 0
+	kept := rep.Findings[:0]
+	for _, d := range rep.Findings {
+		if k := baselineKey(d); known[k] {
+			absorbed++
+			matched[k] = true
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	rep.Findings = kept
+	pruned, err := pruneBaseline(path, known, matched, analyzed)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range pruned {
+		fmt.Fprintf(os.Stderr, "myproxy-vet: %s entry fixed, pruned: %s\n", filepath.Base(path), k)
+	}
+	return absorbed, nil
 }
 
 // baselineKey identifies a finding across edits: file, pass, and message,

@@ -102,6 +102,12 @@ type Context struct {
 	// CallGraph is the load's qualified-name call graph (callgraph.go); the
 	// interprocedural summary sweep orders its work by the graph's SCCs.
 	CallGraph *CallGraph
+	// HotCone holds the qualified names reachable from //myproxy:hotpath
+	// annotations (hotpath.go); the cost passes gate on membership.
+	HotCone map[string]bool
+	// HotCostly maps qualified names to a short description of the blocking
+	// or costly work they (transitively) perform, for hotblock.
+	HotCostly map[string]string
 	// cfgs memoizes control-flow graphs by function body, shared between
 	// the summary computation and the dataflow passes; cfgMu makes the
 	// memoizer safe under the parallel per-package driver.

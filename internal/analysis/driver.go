@@ -13,7 +13,8 @@ import (
 var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap,
 	ConnLeak, Zeroize, CtxDeadline, DeferClose,
 	LockCheck, GuardedBy, GoroLeak,
-	RetrySafe, WgBalance, Verdict, Nilness}
+	RetrySafe, WgBalance, Verdict, Nilness,
+	SecretEscape, HotAlloc, HotBlock}
 
 // Report is the outcome of one analyzer run.
 type Report struct {
@@ -64,7 +65,14 @@ func RunPackages(pkgs []*Package, passes []*Pass) *Report {
 	guarded, guardDiags := collectGuarded(pkgs)
 	ctx.Guarded = guarded
 	ctx.Summaries = buildSummaries(ctx, pkgs)
-	known := make(map[string]bool, len(passes))
+	collectHotCone(ctx, pkgs)
+	// Pragmas may name any registered pass, not just the ones in this run:
+	// a -pass-filtered development run must not misreport the repository's
+	// existing allowances as typos.
+	known := make(map[string]bool, len(Passes)+len(passes))
+	for _, p := range Passes {
+		known[p.Name] = true
+	}
 	for _, p := range passes {
 		known[p.Name] = true
 	}

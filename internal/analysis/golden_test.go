@@ -19,6 +19,7 @@ var fixtures = []string{
 	"connleak", "zeroize", "ctxdeadline", "deferclose",
 	"lockcheck", "guardedby", "goroleak",
 	"retrysafe", "wgbalance", "verdict", "nilness",
+	"secretescape", "hotalloc", "hotblock",
 }
 
 func TestGolden(t *testing.T) {

@@ -61,6 +61,9 @@ func collectPragmas(pkgs []*Package, knownPasses map[string]bool) (pragmaIndex, 
 					if strings.HasPrefix(text, guardedbyMarker) {
 						continue // parsed (and validated) by guardedby.go
 					}
+					if text == hotpathMarker {
+						continue // handled by hotpath.go
+					}
 					pos := pkg.Fset.Position(c.Pos())
 					rest, ok := strings.CutPrefix(text, allowPrefix)
 					if !ok {

@@ -1,0 +1,62 @@
+// Package hotalloc exercises the hotalloc pass: allocation sites inside
+// the //myproxy:hotpath cone — fmt formatting, conversion copies, interface
+// boxing, per-iteration growth — and the escape hatches that keep optimized
+// or frame-local forms quiet. Unannotated, unreachable code stays unflagged
+// however much it allocates.
+package hotalloc
+
+import "fmt"
+
+type stats struct {
+	n int
+	b [4]int64
+}
+
+var (
+	out      []string
+	registry = map[string][]byte{}
+	rows     = map[string][]string{}
+)
+
+// observe is the fixture's interface seam; struct arguments box here.
+func observe(v interface{}) {}
+
+// serve is the annotated hot root. The fmt.Sprintf is the deliberate new
+// allocation: this is what failing the budget gate looks like.
+//
+//myproxy:hotpath
+func serve(names []string, raw []byte) string {
+	msg := fmt.Sprintf("serving %d", len(names))
+	st := stats{n: len(names)}
+	observe(st)  // struct boxed into the interface parameter
+	observe(&st) // pointer-shaped: clean
+	for _, n := range names {
+		out = append(out, n)           // grows a package-level slice per iteration
+		scratch := make([]byte, 16)    // frame-local: clean
+		_ = scratch
+		registry[n] = []byte(n)        // conversion copy stored beyond the frame
+		rows[n] = []string{n}          // map/slice literal per iteration
+		pair := [2]string{n, n}        // array (not map/slice) literal: clean
+		_ = pair
+	}
+	if v, ok := registry[string(raw)]; ok { // map-index key: the compiler does not allocate
+		name := string(v) // lands in a proven frame-local: clean
+		return msg + name
+	}
+	return msg
+}
+
+// fail is in the cone (called from serve via errors? no — standalone root)
+// and shows the cold-exit exemption: fmt.Errorf is presumed off the hot
+// loop.
+//
+//myproxy:hotpath
+func fail(op string) error {
+	return fmt.Errorf("hotalloc: %s failed", op)
+}
+
+// coldStatus is neither annotated nor reachable from a root: its Sprintf
+// stays unflagged.
+func coldStatus(n int) string {
+	return fmt.Sprintf("cold %d", n)
+}

@@ -1,0 +1,72 @@
+// Package hotblock exercises the hotblock pass: costly work performed
+// while a mutex is must-held in a //myproxy:hotpath-reachable function,
+// sleeps on the hot path, and unbounded dials — with the costly-work
+// relation closed over the call graph, so a wrapper is as much a finding
+// as the leaf operation.
+package hotblock
+
+import (
+	"crypto/sha256"
+	"net"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// digest wraps the hash so the costly-work closure must cross a call edge.
+func digest(b []byte) [32]byte {
+	return sha256.Sum256(b)
+}
+
+// lookup hashes inside the critical section: every concurrent request
+// serializes on one probe's SHA-256.
+//
+//myproxy:hotpath
+func (c *cache) lookup(raw []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := digest(raw)
+	v, ok := c.m[string(k[:])]
+	return v, ok
+}
+
+// lookupFast hoists the digest out of the critical section: clean. The
+// hash itself is fine on the hot path — only holding the lock across it
+// is the stall.
+//
+//myproxy:hotpath
+func (c *cache) lookupFast(raw []byte) ([]byte, bool) {
+	k := digest(raw)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[string(k[:])]
+	return v, ok
+}
+
+// retryDelay sleeps on the hot path; flagged with or without a lock held.
+//
+//myproxy:hotpath
+func retryDelay() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// redial reconnects inline with no context or deadline bound; a slow peer
+// stalls the authenticate-unseal-delegate loop.
+//
+//myproxy:hotpath
+func redial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// coldSleep is neither annotated nor reachable from a root: not flagged.
+func coldSleep() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,104 @@
+// Package secretescape exercises the secretescape pass: secret buffers
+// whose backing escapes the frame before any wipe can reach it, copies into
+// immutable strings, and producer results landing where no local exists to
+// wipe — plus the forms that stay quiet (returned buffers, wiped escapes).
+package secretescape
+
+type vault struct {
+	key []byte
+}
+
+var hold [][]byte
+
+// wipe zeroes its argument; the summary engine derives wipesParam from the
+// range-assign so bodyWipes recognizes calls to it.
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// sessionKey derives transport key material; the marker makes its result
+// secret (the function-level counterpart of a //myproxy:secret type).
+//
+//myproxy:secret
+func sessionKey(seed []byte) []byte {
+	out := make([]byte, len(seed))
+	copy(out, seed)
+	return out
+}
+
+// keepRef stores the pass phrase beyond the frame and never wipes it: the
+// vault now holds plaintext pki.WipeBytes can no longer erase.
+func keepRef(v *vault, passphrase []byte) {
+	v.key = passphrase
+}
+
+// keepWiped stores the pass phrase too, but the wipe reaches the escaped
+// view (slice views share one backing array): clean.
+func keepWiped(v *vault, passphrase []byte) {
+	v.key = passphrase
+	wipe(passphrase)
+}
+
+// sendKey hands the buffer to another goroutine; a wipe here would race
+// the receiver, so the send is flagged even though wipe follows.
+func sendKey(ch chan []byte, passphrase []byte) {
+	ch <- passphrase
+	wipe(passphrase)
+}
+
+// passThrough returns the buffer: the caller inherits the obligation
+// (zeroize's documented contract), so this is clean.
+func passThrough(passphrase []byte) []byte {
+	return passphrase
+}
+
+// leakString copies the secret into an immutable string that can never be
+// wiped.
+func leakString(passphrase []byte) string {
+	return string(passphrase)
+}
+
+// copyAndStore makes a mutable copy of the secret string, then lets the
+// copy escape unwiped.
+func copyAndStore(v *vault, passphrase string) {
+	buf := []byte(passphrase)
+	v.key = buf
+}
+
+// copyAndWipe makes the same copy but wipes it after the store: clean.
+func copyAndWipe(v *vault, passphrase string) {
+	buf := []byte(passphrase)
+	v.key = buf
+	wipe(buf)
+}
+
+// buildRecord sends the producer's result straight into a composite
+// literal: there is no local to wipe at all — exactly the hole zeroize
+// cannot see.
+func buildRecord(seed []byte) *vault {
+	return &vault{key: sessionKey(seed)}
+}
+
+// stashField stores the producer's result through a field without an
+// intermediate local.
+func stashField(v *vault, seed []byte) {
+	v.key = sessionKey(seed)
+}
+
+// stashSlice lands the result in a local first, then appends it into a
+// package-level slice: the escape analysis sees the store, and nothing
+// wipes the local.
+func stashSlice(seed []byte) {
+	k := sessionKey(seed)
+	hold = append(hold, k)
+}
+
+// useAndWipe keeps the result frame-local and wipes it: clean.
+func useAndWipe(seed []byte) int {
+	k := sessionKey(seed)
+	n := len(k)
+	wipe(k)
+	return n
+}

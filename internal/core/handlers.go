@@ -18,6 +18,7 @@ import (
 // either a single request/response exchange (plus any delegation the
 // command implies), or — on a SESSION request — a multiplexed session
 // pipelining many such exchanges over the one connection.
+//myproxy:hotpath
 func (s *Server) serveSession(conn *gsi.Conn) error {
 	reqData, err := conn.ReadMessage()
 	if err != nil {
@@ -38,6 +39,7 @@ func (s *Server) serveSession(conn *gsi.Conn) error {
 // whole connection or one stream of a multiplexed session; the handlers
 // cannot tell the difference beyond the session's unseal cache (nil for a
 // single-exchange connection).
+//myproxy:hotpath
 func (s *Server) dispatch(conn gsi.Channel, req *protocol.Request, sc *unsealCache) error {
 	peer := conn.PeerIdentity()
 	s.cfg.logf("%s %s username=%q cred=%q from %v", peer, req.Command, req.Username, req.CredName, conn.RemoteAddr())
@@ -122,18 +124,24 @@ func unsealKey(e *credstore.Entry, passphrase []byte) [sha256.Size]byte {
 
 // lookup returns the cached unsealed credential, or nil. Nil-receiver
 // safe: a single-exchange connection has no cache.
+//myproxy:hotpath
 func (c *unsealCache) lookup(e *credstore.Entry, passphrase []byte) *pki.Credential {
 	if c == nil {
 		return nil
 	}
+	// Hash outside the critical section (mirroring add): SHA-256 over the
+	// sealed key is the expensive part, and every stream of the session
+	// serializes on this mutex.
+	k := unsealKey(e, passphrase)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[unsealKey(e, passphrase)]
+	return c.m[k]
 }
 
 // add caches cred unless another stream raced it in first; it reports
 // whether cred is now owned by the cache (and must not be dropped by the
 // caller). Nil-receiver safe.
+//myproxy:hotpath
 func (c *unsealCache) add(e *credstore.Entry, passphrase []byte, cred *pki.Credential) bool {
 	if c == nil {
 		return false
@@ -169,6 +177,7 @@ func (c *unsealCache) wipe() {
 // revocation on every hit and is invalidated by SetRevoked) before each
 // stream is served, so a CRL reload refuses a revoked peer on the very
 // next operation of an already-open session.
+//myproxy:hotpath
 func (s *Server) serveMultiplexed(conn *gsi.Conn) error {
 	if s.cfg.DisableSessions {
 		// A refusal here is the downgrade signal: the client falls back to
@@ -220,6 +229,7 @@ func (s *Server) serveMultiplexed(conn *gsi.Conn) error {
 }
 
 // serveStream runs one protocol exchange on one session stream.
+//myproxy:hotpath
 func (s *Server) serveStream(st *gsi.Stream, sc *unsealCache) {
 	s.stats.Streams.Add(1)
 	reqData, err := st.ReadMessage()
@@ -339,6 +349,7 @@ func (s *Server) handlePut(conn gsi.Channel, req *protocol.Request) error {
 
 // --- GET: myproxy-get-delegation (paper Fig. 2) ---
 
+//myproxy:hotpath
 func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCache) error {
 	if req.Renewal {
 		return s.handleRenewal(conn, req)
@@ -379,11 +390,16 @@ func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCa
 	}
 	// Within a session, repeated gets of the same sealed credential under
 	// the same pass phrase skip the KDF via the session's unseal cache.
-	issuer := sc.lookup(entry, []byte(req.Passphrase))
+	// One mutable copy of the pass phrase serves the cache probe, the
+	// unseal and the cache fill (three conversions allocated three copies
+	// per GET before), and is wiped when the exchange ends.
+	passphrase := []byte(req.Passphrase)
+	defer pki.WipeBytes(passphrase)
+	issuer := sc.lookup(entry, passphrase)
 	cached := issuer != nil
 	if !cached {
 		var err error
-		issuer, err = credstore.UnsealDelegated(entry, []byte(req.Passphrase))
+		issuer, err = credstore.UnsealDelegated(entry, passphrase)
 		if err != nil {
 			if errors.Is(err, credstore.ErrBadPassphrase) {
 				return s.failf(conn, badPhraseMsg, "GET %s/%s: bad pass phrase", req.Username, entry.Name)
@@ -391,7 +407,7 @@ func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCa
 			s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
 			return err
 		}
-		cached = sc.add(entry, []byte(req.Passphrase), issuer)
+		cached = sc.add(entry, passphrase, issuer)
 	}
 	lifetime := s.cfg.Lifetimes.ClampDelegatedWithRestriction(req.Lifetime, entry.MaxDelegation)
 	if err := s.respond(conn, protocol.OKResponse()); err != nil {

@@ -188,3 +188,42 @@ func TestPutServerSideKeyAlgorithm(t *testing.T) {
 		t.Fatalf("stored proxy key is %T, want ed25519", chain[1].PublicKey)
 	}
 }
+
+// TestSessionStreamAllocs pins the allocation profile of one pipelined
+// Fig. 2 exchange over an established session — the multiplexed path PRs 3
+// and 8 built exists to amortize the handshake, key generation and chain
+// verification, and this test keeps the residue from regrowing. The count
+// covers both sides (client and in-process server) and measures ~1.2k
+// objects steady-state; the bound leaves ~20% slack for runtime and
+// scheduling noise while a reintroduced per-request keypair or per-stream
+// chain walk (tens of thousands of allocations) still fails loudly.
+// AllocsPerRun's warm-up run absorbs the session's first-use costs (unseal
+// cache fill, verify cache miss).
+func TestSessionStreamAllocs(t *testing.T) {
+	_, addr := startServer(t, nil)
+	alice := testpki.User(t, "alloc-alice")
+	mustPut(t, newClient(t, alice, addr), PutOptions{Lifetime: 24 * time.Hour})
+
+	portal := testpki.Host(t, "alloc-portal.test")
+	cli := newClient(t, portal, addr)
+	// Ed25519 delegation keys keep the measured loop free of RSA keygen's
+	// nondeterministic allocation tail.
+	cli.KeyAlgorithm = pki.AlgEd25519
+	sess, err := cli.NewSession(context.Background())
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	if !sess.Multiplexed() {
+		t.Fatal("server declined session mode")
+	}
+	opts := GetOptions{Username: testUser, Passphrase: testPass, Lifetime: time.Hour}
+	allocs := testing.AllocsPerRun(30, func() {
+		if _, err := sess.Get(context.Background(), opts); err != nil {
+			t.Fatalf("session Get: %v", err)
+		}
+	})
+	if allocs > 1500 {
+		t.Errorf("per-stream session Get allocates %.0f objects/op, want <= 1500", allocs)
+	}
+}

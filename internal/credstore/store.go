@@ -175,6 +175,7 @@ func (e *Entry) SetPassphrase(passphrase []byte) error {
 	}
 	e.VerifierSalt = salt
 	e.VerifierIter = verifierIterations
+	//myproxy:allow secretescape the verifier digest is persisted by design; the KDF input, not this derived value, is the secret to wipe
 	e.Verifier = kdf.SHA256Key(passphrase, salt, e.VerifierIter, 32)
 	return nil
 }
@@ -234,6 +235,7 @@ func SealDelegated(e *Entry, cred *pki.Credential, passphrase []byte, kdfIter in
 // security gain. The verifier exists for entries the server cannot
 // decrypt (opaque KindStored blobs) and for operations that must check
 // the pass phrase without unsealing (INFO, DESTROY).
+//myproxy:hotpath
 func UnsealDelegated(e *Entry, passphrase []byte) (*pki.Credential, error) {
 	if e.Kind != KindDelegated {
 		return nil, fmt.Errorf("credstore: %s credential cannot be unsealed for delegation", e.Kind)

@@ -23,6 +23,7 @@ const DefaultMaxFrame = 1 << 20
 var ErrFrameTooLarge = errors.New("gsi: frame exceeds maximum size")
 
 // WriteFrame writes one length-prefixed message.
+//myproxy:hotpath
 func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -37,6 +38,7 @@ func WriteFrame(w io.Writer, payload []byte) error {
 
 // ReadFrame reads one length-prefixed message of at most max bytes
 // (max <= 0 selects DefaultMaxFrame).
+//myproxy:hotpath
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
@@ -67,6 +69,7 @@ const streamIDLen = 4
 
 // WriteStreamFrame writes one length-prefixed message tagged with a
 // stream identifier (id must be nonzero).
+//myproxy:hotpath
 func WriteStreamFrame(w io.Writer, id uint32, payload []byte) error {
 	if id == 0 {
 		return errors.New("gsi: stream id 0 is reserved")
@@ -85,6 +88,7 @@ func WriteStreamFrame(w io.Writer, id uint32, payload []byte) error {
 
 // ReadStreamFrame reads one stream-tagged frame of at most max payload
 // bytes (max <= 0 selects DefaultMaxFrame).
+//myproxy:hotpath
 func ReadStreamFrame(r io.Reader, max int) (uint32, []byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame

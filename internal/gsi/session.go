@@ -199,6 +199,7 @@ func (s *Session) writeFrame(id uint32, payload []byte) error {
 			return fmt.Errorf("gsi: arm stream write deadline: %w", err)
 		}
 	}
+	//myproxy:allow hotblock frames must serialize on wmu by design; the per-frame write deadline above bounds the hold
 	if err := WriteStreamFrame(s.conn.tls, id, payload); err != nil {
 		s.fail(err)
 		return err
@@ -260,11 +261,13 @@ func (st *Stream) ID() uint32 { return st.id }
 func (st *Stream) SetMessageTimeout(d time.Duration) { st.timeout = d }
 
 // WriteMessage sends one framed message on this stream.
+//myproxy:hotpath
 func (st *Stream) WriteMessage(payload []byte) error {
 	return st.s.writeFrame(st.id, payload)
 }
 
 // ReadMessage receives the next message routed to this stream.
+//myproxy:hotpath
 func (st *Stream) ReadMessage() ([]byte, error) {
 	var timeout <-chan time.Time
 	if st.timeout > 0 {

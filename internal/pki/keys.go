@@ -262,16 +262,20 @@ func parseKeyDER(der []byte) (crypto.Signer, error) {
 func EncodeKeyPEM(key crypto.Signer) []byte {
 	switch k := key.(type) {
 	case *rsa.PrivateKey:
-		return pem.EncodeToMemory(&pem.Block{
-			Type:  pemTypeRSAKey,
-			Bytes: x509.MarshalPKCS1PrivateKey(k),
-		})
+		der := x509.MarshalPKCS1PrivateKey(k)
+		out := pem.EncodeToMemory(&pem.Block{Type: pemTypeRSAKey, Bytes: der})
+		// EncodeToMemory copied the DER bytes into out; the intermediate
+		// holds the same plaintext key material and must not outlive us.
+		WipeBytes(der)
+		return out
 	default:
 		der, err := x509.MarshalPKCS8PrivateKey(key)
 		if err != nil {
 			return nil
 		}
-		return pem.EncodeToMemory(&pem.Block{Type: pemTypePKCS8Key, Bytes: der})
+		out := pem.EncodeToMemory(&pem.Block{Type: pemTypePKCS8Key, Bytes: der})
+		WipeBytes(der)
+		return out
 	}
 }
 

@@ -1,6 +1,7 @@
 package pki
 
 import (
+	"crypto"
 	"crypto/ecdsa"
 	"crypto/ed25519"
 	"crypto/rsa"
@@ -59,4 +60,30 @@ func TestWipeSignerUnsupported(t *testing.T) {
 	WipeSigner(nil)
 	var rsaNil *rsa.PrivateKey
 	WipeSigner(rsaNil)
+}
+
+// TestEncodeKeyPEMWipesIntermediate is the regression test for the
+// wipe-after-encode ordering in EncodeKeyPEM: the intermediate DER buffer
+// is zeroized only AFTER pem.EncodeToMemory has copied it, so the returned
+// PEM must still round-trip to the same key for every algorithm family
+// (PKCS#1 for RSA, PKCS#8 for the rest). Wiping before the copy would
+// yield PEM blocks full of zeros that fail to parse here.
+func TestEncodeKeyPEMWipesIntermediate(t *testing.T) {
+	for _, alg := range []KeyAlgorithm{AlgRSA, AlgECDSAP256, AlgEd25519} {
+		key, err := GenerateSigner(KeySpec{Algorithm: alg, Bits: DemoKeyBits})
+		if err != nil {
+			t.Fatalf("%v: GenerateSigner: %v", alg, err)
+		}
+		pemBytes := EncodeKeyPEM(key)
+		if len(pemBytes) == 0 {
+			t.Fatalf("%v: EncodeKeyPEM returned nothing", alg)
+		}
+		back, err := DecodeKeyPEM(pemBytes)
+		if err != nil {
+			t.Fatalf("%v: DecodeKeyPEM of freshly encoded key: %v", alg, err)
+		}
+		if !back.Public().(interface{ Equal(crypto.PublicKey) bool }).Equal(key.Public()) {
+			t.Fatalf("%v: round-tripped key differs from the original", alg)
+		}
+	}
 }

@@ -190,3 +190,31 @@ func TestVerifyCacheNilDegradesToVerify(t *testing.T) {
 	}
 	vc.Invalidate() // must not panic
 }
+
+// TestVerifyCacheHitAllocs pins the allocation profile of the cached hit
+// path — the whole point of the cache is that a repeat portal chain costs a
+// map probe, not a signature walk. The hit path allocates exactly once (the
+// Result copy handed to the caller); the bound leaves one alloc of slack so
+// incidental runtime changes don't flake, while a rebuilt fingerprint or a
+// per-hit buffer (the regressions hotalloc exists to catch) still fails.
+func TestVerifyCacheHitAllocs(t *testing.T) {
+	cred, roots := cachedChain(t)
+	vc := NewVerifyCache(0)
+	// A fixed CurrentTime keeps time.Now out of the measured loop.
+	opts := VerifyOptions{Roots: roots, CurrentTime: time.Now()}
+	chain := cred.CertChain()
+	if _, err := vc.Verify(chain, opts); err != nil {
+		t.Fatalf("warm-up Verify: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := vc.Verify(chain, opts); err != nil {
+			t.Fatalf("hit Verify: %v", err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("cached Verify hit allocates %.1f objects/op, want <= 2", allocs)
+	}
+	if vc.Misses() != 1 {
+		t.Errorf("misses = %d, want 1 (every measured call must be a hit)", vc.Misses())
+	}
+}

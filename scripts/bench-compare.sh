@@ -1,6 +1,10 @@
 #!/bin/sh
 # bench-compare.sh — diff the two most recent BENCH_<n>.json trajectory
-# points and flag >10% ns/op regressions on benchmarks present in both.
+# points and flag >10% regressions in ns/op OR allocs/op on benchmarks
+# present in both. Allocation counts gate alongside latency because the
+# Fig. 2 speedups (key pool, verify cache, session reuse) are exactly
+# allocation removals — a benchmark can hold its ns/op on a fast machine
+# while quietly regrowing its garbage.
 #
 # Usage:
 #   scripts/bench-compare.sh [OLD.json NEW.json]
@@ -13,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-THRESHOLD=10 # percent ns/op growth tolerated before flagging
+THRESHOLD=10 # percent ns/op or allocs/op growth tolerated before flagging
 
 if [ $# -eq 2 ]; then
 	old="$1"
@@ -35,11 +39,12 @@ else
 	new="$latest"
 fi
 
-echo "comparing $old -> $new (flagging ns/op regressions > ${THRESHOLD}%)"
+echo "comparing $old -> $new (flagging ns/op or allocs/op regressions > ${THRESHOLD}%)"
 
 # The emitter writes one result object per line, so a line-oriented parse
 # is reliable without a JSON tool. Only the "results" arrays are read;
-# an embedded "baseline" section is ignored.
+# an embedded "baseline" section is ignored. Results that predate the
+# allocs_op field report -1 and are skipped for the allocation gate.
 extract() {
 	awk '
 	/"results": \[/ { in_results = 1; next }
@@ -47,7 +52,11 @@ extract() {
 	in_results && /"name"/ {
 		name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
 		ns = $0; sub(/.*"ns_op": /, "", ns); sub(/[,}].*/, "", ns)
-		print name, ns
+		allocs = -1
+		if ($0 ~ /"allocs_op":/) {
+			allocs = $0; sub(/.*"allocs_op": /, "", allocs); sub(/[,}].*/, "", allocs)
+		}
+		print name, ns, allocs
 	}
 	' "$1"
 }
@@ -57,21 +66,32 @@ extract "$new" >/tmp/bench_new.$$
 trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
 
 awk -v threshold="$THRESHOLD" '
-NR == FNR { old[$1] = $2; next }
+NR == FNR { old_ns[$1] = $2; old_allocs[$1] = $3; next }
 {
-	new[$1] = $2
-	if (!($1 in old)) { added++; next }
+	new[$1] = 1
+	if (!($1 in old_ns)) { added++; next }
 	compared++
-	delta = 100 * ($2 - old[$1]) / old[$1]
-	if (delta > threshold) {
-		printf "REGRESSION %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, old[$1], $2, delta
-		bad++
-	} else {
-		printf "ok         %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", $1, old[$1], $2, delta
+	verdict = "ok        "
+	delta = 100 * ($2 - old_ns[$1]) / old_ns[$1]
+	note = sprintf("%12.0f -> %12.0f ns/op (%+.1f%%)", old_ns[$1], $2, delta)
+	if (delta > threshold) { verdict = "REGRESSION"; bad++ }
+	# Allocation gate: both points must carry the field, and a zero-alloc
+	# old point only regresses by becoming nonzero.
+	if (old_allocs[$1] >= 0 && $3 >= 0) {
+		if (old_allocs[$1] == 0) {
+			adelta = ($3 > 0) ? 100 : 0
+		} else {
+			adelta = 100 * ($3 - old_allocs[$1]) / old_allocs[$1]
+		}
+		note = note sprintf(", %d -> %d allocs/op (%+.1f%%)", old_allocs[$1], $3, adelta)
+		if (adelta > threshold) {
+			if (verdict != "REGRESSION") { verdict = "REGRESSION"; bad++ }
+		}
 	}
+	printf "%s %-60s %s\n", verdict, $1, note
 }
 END {
-	for (name in old) if (!(name in new)) removed++
+	for (name in old_ns) if (!(name in new)) removed++
 	printf "\n%d compared, %d regressions, %d new, %d removed\n", \
 		compared + 0, bad + 0, added + 0, removed + 0
 	exit bad > 0 ? 1 : 0

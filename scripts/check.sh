@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== myproxy-vet ./... (syntactic + flow-sensitive + concurrency + distributed-protocol passes)"
-go run ./cmd/myproxy-vet -baseline vet-baseline.txt ./...
+echo "== myproxy-vet ./... (syntactic + flow-sensitive + concurrency + distributed-protocol + hot-path cost passes)"
+go run ./cmd/myproxy-vet -baseline vet-baseline.txt -budget vet-cost-budget.txt ./...
 
 echo "== go build ./..."
 go build ./...
