@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-self vet-stats lint test race race-hotpath race-failover check bench bench-compare clean
+.PHONY: all build vet vet-self vet-stats lint test race race-hotpath race-failover fuzz-smoke check bench bench-compare clean
 
 all: build
 
@@ -15,13 +15,15 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (see internal/analysis and
-# DESIGN.md "Static-analysis gate" through "Hot-path cost dimension") — all
-# nineteen passes: the five syntactic ones, the flow-sensitive connleak,
-# zeroize, ctxdeadline and deferclose, the concurrency trio lockcheck,
-# guardedby and goroleak, the distributed-protocol quartet retrysafe,
-# wgbalance, verdict and nilness, and the hot-path cost trio secretescape,
-# hotalloc and hotblock, with obligations propagated interprocedurally over
-# the call graph. Exits nonzero on any finding not covered by a
+# DESIGN.md "Static-analysis gate" through "Trust-boundary taint engine") —
+# all twenty-three passes: the five syntactic ones, the flow-sensitive
+# connleak, zeroize, ctxdeadline and deferclose, the concurrency trio
+# lockcheck, guardedby and goroleak, the distributed-protocol quartet
+# retrysafe, wgbalance, verdict and nilness, the hot-path cost trio
+# secretescape, hotalloc and hotblock, and the trust-boundary taint quartet
+# pathtaint, alloctaint, logtaint and hdrtaint, with obligations propagated
+# interprocedurally over the call graph. Exits nonzero on any finding not
+# covered by a
 # //myproxy:allow pragma, the checked-in baseline (currently empty: the
 # repo self-check is clean), or the cost budget (vet-cost-budget.txt, the
 # grandfathered allocation profile of the hot path — new hot-cone
@@ -58,7 +60,17 @@ race-failover:
 	$(GO) test -race -count=1 ./internal/cluster
 	$(GO) test -race -count=1 -run 'TestClusterFailover|TestClusterPartition' ./internal/sim
 
-check: vet lint build race-hotpath race-failover race
+# fuzz-smoke runs each native fuzz target for a few seconds: the wire
+# parsers (protocol requests/responses) and the GSI frame decoders, seeded
+# from the golden exchanges. A short time box keeps `make check` fast;
+# longer campaigns are a manual `go test -fuzz=... -fuzztime=10m`.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=5s ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzParseResponse -fuzztime=5s ./internal/protocol
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=5s ./internal/gsi
+	$(GO) test -run='^$$' -fuzz=FuzzReadStreamFrame -fuzztime=5s ./internal/gsi
+
+check: vet lint build race-hotpath race-failover fuzz-smoke race
 
 # Short benchmark smoke pass (full runs are driven by cmd/experiments).
 bench:

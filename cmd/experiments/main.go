@@ -223,7 +223,7 @@ func runE3(ctx context.Context) error {
 	if st.State != gram.StateDone {
 		return fmt.Errorf("job failed: %s", st.Error)
 	}
-	fmt.Printf("job %s ran as local user %q and stored its result\n", st.ID, st.LocalUser)
+	fmt.Printf("job %q ran as local user %q and stored its result\n", st.ID, st.LocalUser)
 
 	// Verify through the user's own client that the result landed.
 	mssCli := &mss.Client{Credential: d.Users[0], Roots: d.Roots, Addr: d.MSSAddr}

@@ -133,7 +133,11 @@ func main() {
 		out := struct {
 			Findings   []analysis.Diagnostic `json:"findings"`
 			Suppressed int                   `json:"suppressed"`
-		}{Findings: rep.Findings, Suppressed: len(rep.Suppressed)}
+			// Stats carries the same per-pass wall-time and finding-count
+			// data as -stats, so one -json artifact feeds both the CI
+			// annotation step and the pass-cost trend tracking.
+			Stats []analysis.PassStat `json:"stats"`
+		}{Findings: rep.Findings, Suppressed: len(rep.Suppressed), Stats: rep.PassStats}
 		if out.Findings == nil {
 			out.Findings = []analysis.Diagnostic{}
 		}

@@ -161,7 +161,7 @@ func run() error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("login failed: %s", loginBody)
 	}
-	fmt.Printf("browser login OK (steps 2-3 happened behind the portal): %s\n", loginBody)
+	fmt.Printf("browser login OK (steps 2-3 happened behind the portal): %q\n", loginBody)
 
 	// Submit a job that stores its result to mass storage using a proxy
 	// delegated onward to the job (§2.4 chained delegation).
@@ -178,7 +178,7 @@ func run() error {
 		return err
 	}
 	resp.Body.Close()
-	fmt.Printf("submitted %s (%s), delegated=%v\n", job.ID, job.Executable, job.Delegated)
+	fmt.Printf("submitted %q (%q), delegated=%v\n", job.ID, job.Executable, job.Delegated)
 
 	// Poll until done.
 	for job.State == gram.StatePending || job.State == gram.StateActive {
@@ -195,7 +195,7 @@ func run() error {
 	if job.State != gram.StateDone {
 		return fmt.Errorf("job failed: %s", job.Error)
 	}
-	fmt.Printf("job done as local user %q: %s\n", job.LocalUser, job.Output)
+	fmt.Printf("job done as local user %q: %q\n", job.LocalUser, job.Output)
 
 	// Fetch the stored result back through the portal.
 	resp, err = browser.Get(portalURL + "/api/file?name=simulation.out")

@@ -41,6 +41,12 @@ type fact struct {
 	// conn needs no Close). Set only by the nilness pass; a pass never mixes
 	// mayNil and obligation facts in one flow.
 	mayNil bool
+	// taintSrc is the taint-origin bitmask used by the trust-boundary taint
+	// lattice (taint.go): bit i (< 62) means "carries data derived from the
+	// enclosing function's i-th parameter", ambientTaint means "carries data
+	// from an in-body wire source". Zero for every obligation fact; joined
+	// by union, since taint from either path taints the merge point.
+	taintSrc uint64
 }
 
 type errSense uint8
@@ -83,6 +89,7 @@ func (fs factSet) join(src factSet) bool {
 		if v.err != merged.err || v.errLive != merged.errLive {
 			merged.err = nil
 		}
+		merged.taintSrc |= v.taintSrc
 		if merged != old {
 			fs[k] = merged
 			changed = true
@@ -125,6 +132,11 @@ type flowHooks struct {
 	// each node during the final stable walk — the place to flag "fact still
 	// live at this return".
 	report func(n ast.Node, fs factSet)
+	// refine, when non-nil, applies pass-specific knowledge of a branch
+	// condition to the facts on a conditional edge, after the engine's own
+	// nil/err refinement. The taint lattice uses it to kill integer taint on
+	// edges where an upper-bound comparison holds (see taint.go).
+	refine func(cond ast.Expr, val bool, fs factSet)
 }
 
 // runFlow iterates the CFG to a fixpoint and then replays each block once
@@ -167,6 +179,9 @@ func runFlow(pkg *Package, cfg *CFG, seed factSet, hooks flowHooks) []factSet {
 			if e.Cond != nil {
 				edgeFacts = out.clone()
 				refineCond(pkg, e.Cond, e.Val, edgeFacts)
+				if hooks.refine != nil {
+					hooks.refine(e.Cond, e.Val, edgeFacts)
+				}
 			}
 			if in[e.To.Index].join(edgeFacts) && !queued[e.To.Index] {
 				work = append(work, e.To)

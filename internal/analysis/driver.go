@@ -14,7 +14,8 @@ var Passes = []*Pass{WeakRand, SecretFlow, ConstTime, RawVerify, ErrWrap,
 	ConnLeak, Zeroize, CtxDeadline, DeferClose,
 	LockCheck, GuardedBy, GoroLeak,
 	RetrySafe, WgBalance, Verdict, Nilness,
-	SecretEscape, HotAlloc, HotBlock}
+	SecretEscape, HotAlloc, HotBlock,
+	PathTaint, AllocTaint, LogTaint, HdrTaint}
 
 // Report is the outcome of one analyzer run.
 type Report struct {

@@ -20,6 +20,7 @@ var fixtures = []string{
 	"lockcheck", "guardedby", "goroleak",
 	"retrysafe", "wgbalance", "verdict", "nilness",
 	"secretescape", "hotalloc", "hotblock",
+	"pathtaint", "alloctaint", "logtaint", "hdrtaint",
 }
 
 func TestGolden(t *testing.T) {

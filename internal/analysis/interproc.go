@@ -77,6 +77,12 @@ func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
 	decls := collectDecls(ctx, pkgs)
 	ctx.CallGraph = buildCallGraph(decls)
 
+	// Trust-boundary taint markers: the untrusted-type set feeds the taint
+	// lattice's by-type ambient rule; the function markers seed summaries
+	// before the bottom-up taint sweep at the end of this build.
+	untrustedTypes, untrustedFns, sanitizeFns := collectTaintMarkers(pkgs)
+	ctx.UntrustedTypes = untrustedTypes
+
 	// Marker-derived facts need no propagation order: secretResult from
 	// //myproxy:secret doc markers, armsResult from deadline-arming bodies.
 	for _, d := range decls {
@@ -124,6 +130,11 @@ func buildSummaries(ctx *Context, pkgs []*Package) summaryTable {
 	// direction); feeding it the bottom-up order makes it settle in one
 	// round plus a verification pass for non-recursive code.
 	computeLockSummaries(ctx, t, ordered)
+
+	// Taint summaries run last: they consult the finished obligation and
+	// noReturn facts through the memoized CFGs, and they memoize each body's
+	// sink findings for the four taint passes (see taint.go).
+	computeTaintSummaries(ctx, t, ordered, untrustedFns, sanitizeFns)
 	return t
 }
 

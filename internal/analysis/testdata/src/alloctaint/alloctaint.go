@@ -1,0 +1,77 @@
+// Package alloctaintfix exercises the alloctaint pass: wire-derived sizes
+// driving allocations. The canonical shape is a length-prefixed frame
+// read — the prefix is attacker-controlled, so make([]byte, n) without a
+// dominating bound check lets a peer demand arbitrary memory. A branch
+// comparing the size against an explicit constant maximum kills the
+// taint on the in-bounds edge; a bound that is itself wire-derived does
+// not.
+package alloctaintfix
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxFrame = 1 << 20
+
+// ReadFrame allocates straight from the length prefix: flagged.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadFrameBounded compares against an explicit maximum first: the
+// in-bounds edge is clean.
+func ReadFrameBounded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("frame exceeds maximum")
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadFrameTaintedBound checks the size against a limit the peer also
+// controls: no proof, still flagged.
+func ReadFrameTaintedBound(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	limit := binary.BigEndian.Uint32(hdr[4:])
+	if n > limit {
+		return nil, errors.New("frame exceeds advertised limit")
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// grow is an interprocedural allocator: its parameter reaches make, so
+// callers passing wire-derived sizes are flagged at the call site.
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+
+// Forwarded flags where the wire taint enters grow.
+func Forwarded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	return grow(n), nil
+}

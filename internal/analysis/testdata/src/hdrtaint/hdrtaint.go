@@ -1,0 +1,39 @@
+// Package hdrtaintfix exercises the hdrtaint pass: client-controlled
+// values reaching HTTP response headers, where a CR/LF lets the client
+// split the response. *http.Request is ambient-tainted by type (seeded);
+// url.QueryEscape and a %q rendering are the escape hatches.
+package hdrtaintfix
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// Echo copies client input into a response header: flagged; the escaped
+// copy and the constant header are clean.
+func Echo(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	w.Header().Set("X-User", user)
+	w.Header().Set("X-User-Escaped", url.QueryEscape(user))
+	w.Header().Add("X-Server", "myproxy")
+}
+
+// Bounce redirects to a client-controlled location: flagged; the fixed
+// fallback is clean.
+func Bounce(w http.ResponseWriter, r *http.Request) {
+	target := r.FormValue("next")
+	if target == "" {
+		http.Redirect(w, r, "/login", http.StatusFound)
+		return
+	}
+	http.Redirect(w, r, target, http.StatusFound)
+}
+
+// Cookie writes a client value into a Set-Cookie header: flagged through
+// the composite literal; the quoted rendering is clean.
+func Cookie(w http.ResponseWriter, r *http.Request) {
+	val := r.FormValue("theme")
+	http.SetCookie(w, &http.Cookie{Name: "theme", Value: val})
+	http.SetCookie(w, &http.Cookie{Name: "themeq", Value: fmt.Sprintf("%q", val)})
+}

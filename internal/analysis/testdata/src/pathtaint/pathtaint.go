@@ -1,0 +1,81 @@
+// Package pathtaintfix exercises the pathtaint pass: wire-tainted values
+// reaching filesystem-path sinks, and the three ways a value becomes
+// clean — hashing, a derived charset validator, and a //myproxy:sanitizes
+// marker. Taint enters by type (//myproxy:untrusted on Request) and by
+// function (//myproxy:untrusted on readLine).
+package pathtaintfix
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// Request is raw wire input: every field is attacker-controlled.
+//
+//myproxy:untrusted
+type Request struct {
+	Username string
+	CredName string
+}
+
+// readLine hands back one line of raw peer input.
+//
+//myproxy:untrusted
+func readLine() string { return "" }
+
+// Open builds a path straight from the wire value: flagged at the Join.
+func Open(dir string, req *Request) (*os.File, error) {
+	return os.Open(filepath.Join(dir, req.Username))
+}
+
+// Hashed derives the path component from a hash of the wire value: the
+// seeded sha256/hex sanitizers make it clean with no annotation.
+func Hashed(dir string, req *Request) (*os.File, error) {
+	sum := sha256.Sum256([]byte(req.Username))
+	return os.Open(filepath.Join(dir, hex.EncodeToString(sum[:])))
+}
+
+// validName is recognized as a charset validator by shape alone: one
+// string parameter, a single error result, per-character inspection, and
+// both nil and non-nil returns.
+func validName(s string) error {
+	for _, r := range s {
+		if r == '/' || r == '.' || r == 0 {
+			return errors.New("name contains a path metacharacter")
+		}
+	}
+	return nil
+}
+
+// Validated pairs the validator with its error check: on the nil-error
+// edge the value is proven clean.
+func Validated(dir string) (*os.File, error) {
+	name := readLine()
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	return os.Open(filepath.Join(dir, name))
+}
+
+// Unvalidated skips the check: flagged.
+func Unvalidated(dir string) ([]byte, error) {
+	name := readLine()
+	return os.ReadFile(filepath.Join(dir, name))
+}
+
+// mangle vouches for its result via the marker; the body is opaque to
+// the derivation.
+//
+//myproxy:sanitizes
+func mangle(s string) string {
+	return "u_" + hex.EncodeToString([]byte(s))
+}
+
+// Marked routes the wire value through the marked sanitizer: clean.
+func Marked(dir string) error {
+	name := readLine()
+	return os.Remove(filepath.Join(dir, mangle(name)))
+}

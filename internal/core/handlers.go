@@ -343,7 +343,7 @@ func (s *Server) handlePut(conn gsi.Channel, req *protocol.Request) error {
 		return err
 	}
 	s.stats.Puts.Add(1)
-	s.cfg.logf("STORED %s/%s for %s until %v", req.Username, req.CredName, peer, entry.NotAfter)
+	s.cfg.logf("STORED %q/%q for %s until %v", req.Username, req.CredName, peer, entry.NotAfter)
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -379,14 +379,14 @@ func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCa
 	}
 	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
 	if err != nil {
-		return s.failf(conn, notFoundMsg, "GET %s/%s: %v", req.Username, req.CredName, err)
+		return s.failf(conn, notFoundMsg, "GET %q/%q: %v", req.Username, req.CredName, err)
 	}
 	// Per-credential retrieval restriction composes with the server ACL.
 	if entry.Retrievers != "" && !policyMatch(entry.Retrievers, peer) {
-		return s.failf(conn, deniedMsg, "GET %s/%s: %s not in credential retriever list", req.Username, entry.Name, peer)
+		return s.failf(conn, deniedMsg, "GET %q/%q: %s not in credential retriever list", req.Username, entry.Name, peer)
 	}
 	if entry.Expired(s.cfg.now()) {
-		return s.failf(conn, "stored credential has expired", "GET %s/%s expired at %v", req.Username, entry.Name, entry.NotAfter)
+		return s.failf(conn, "stored credential has expired", "GET %q/%q expired at %v", req.Username, entry.Name, entry.NotAfter)
 	}
 	// Within a session, repeated gets of the same sealed credential under
 	// the same pass phrase skip the KDF via the session's unseal cache.
@@ -402,7 +402,7 @@ func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCa
 		issuer, err = credstore.UnsealDelegated(entry, passphrase)
 		if err != nil {
 			if errors.Is(err, credstore.ErrBadPassphrase) {
-				return s.failf(conn, badPhraseMsg, "GET %s/%s: bad pass phrase", req.Username, entry.Name)
+				return s.failf(conn, badPhraseMsg, "GET %q/%q: bad pass phrase", req.Username, entry.Name)
 			}
 			s.respond(conn, protocol.ErrorResponse("could not open stored credential"))
 			return err
@@ -428,7 +428,7 @@ func (s *Server) handleGet(conn gsi.Channel, req *protocol.Request, sc *unsealCa
 		issuer.PrivateKey = nil
 	}
 	s.stats.Gets.Add(1)
-	s.cfg.logf("DELEGATED %s/%s to %s for %v", req.Username, entry.Name, peer, lifetime)
+	s.cfg.logf("DELEGATED %q/%q to %s for %v", req.Username, entry.Name, peer, lifetime)
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -443,17 +443,17 @@ func (s *Server) handleRenewal(conn gsi.Channel, req *protocol.Request) error {
 	}
 	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
 	if err != nil {
-		return s.failf(conn, notFoundMsg, "RENEWAL %s/%s: %v", req.Username, req.CredName, err)
+		return s.failf(conn, notFoundMsg, "RENEWAL %q/%q: %v", req.Username, req.CredName, err)
 	}
 	if !entry.Renewable {
-		return s.failf(conn, deniedMsg, "RENEWAL %s/%s: credential not renewable", req.Username, entry.Name)
+		return s.failf(conn, deniedMsg, "RENEWAL %q/%q: credential not renewable", req.Username, entry.Name)
 	}
 	if entry.Owner != peer {
-		return s.failf(conn, deniedMsg, "RENEWAL %s/%s: requester %s is not the credential identity %s",
+		return s.failf(conn, deniedMsg, "RENEWAL %q/%q: requester %s is not the credential identity %s",
 			req.Username, entry.Name, peer, entry.Owner)
 	}
 	if entry.Expired(s.cfg.now()) {
-		return s.failf(conn, "stored credential has expired", "RENEWAL %s/%s expired at %v", req.Username, entry.Name, entry.NotAfter)
+		return s.failf(conn, "stored credential has expired", "RENEWAL %q/%q expired at %v", req.Username, entry.Name, entry.NotAfter)
 	}
 	issuer, err := credstore.UnsealDelegated(entry, nil)
 	if err != nil {
@@ -473,7 +473,7 @@ func (s *Server) handleRenewal(conn gsi.Channel, req *protocol.Request) error {
 	}
 	issuer.PrivateKey = nil
 	s.stats.Gets.Add(1)
-	s.cfg.logf("RENEWED %s/%s for %s for %v", req.Username, entry.Name, peer, lifetime)
+	s.cfg.logf("RENEWED %q/%q for %s for %v", req.Username, entry.Name, peer, lifetime)
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -508,7 +508,7 @@ func (s *Server) handleInfo(conn gsi.Channel, req *protocol.Request) error {
 		})
 	}
 	if len(resp.Infos) == 0 {
-		return s.failf(conn, notFoundMsg, "INFO %s: no entries matched pass phrase", req.Username)
+		return s.failf(conn, notFoundMsg, "INFO %q: no entries matched pass phrase", req.Username)
 	}
 	s.stats.Infos.Add(1)
 	return s.respond(conn, resp)
@@ -520,21 +520,21 @@ func (s *Server) handleDestroy(conn gsi.Channel, req *protocol.Request) error {
 	peer := conn.PeerIdentity()
 	entry, err := s.store.Get(req.Username, req.CredName)
 	if err != nil {
-		return s.failf(conn, notFoundMsg, "DESTROY %s/%s: %v", req.Username, req.CredName, err)
+		return s.failf(conn, notFoundMsg, "DESTROY %q/%q: %v", req.Username, req.CredName, err)
 	}
 	// Only the owner, with the pass phrase, may destroy.
 	if entry.Owner != peer {
-		return s.failf(conn, deniedMsg, "DESTROY %s/%s by non-owner %s", req.Username, req.CredName, peer)
+		return s.failf(conn, deniedMsg, "DESTROY %q/%q by non-owner %s", req.Username, req.CredName, peer)
 	}
 	if err := entry.CheckPassphrase([]byte(req.Passphrase)); err != nil {
-		return s.failf(conn, badPhraseMsg, "DESTROY %s/%s: bad pass phrase", req.Username, req.CredName)
+		return s.failf(conn, badPhraseMsg, "DESTROY %q/%q: bad pass phrase", req.Username, req.CredName)
 	}
 	if err := s.store.Delete(req.Username, req.CredName); err != nil {
 		s.respond(conn, protocol.ErrorResponse("store error"))
 		return err
 	}
 	s.stats.Destroys.Add(1)
-	s.cfg.logf("DESTROYED %s/%s by %s", req.Username, req.CredName, peer)
+	s.cfg.logf("DESTROYED %q/%q by %s", req.Username, req.CredName, peer)
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -544,10 +544,10 @@ func (s *Server) handleChangePassphrase(conn gsi.Channel, req *protocol.Request)
 	peer := conn.PeerIdentity()
 	entry, err := s.store.Get(req.Username, req.CredName)
 	if err != nil {
-		return s.failf(conn, notFoundMsg, "CHANGE_PASSPHRASE %s/%s: %v", req.Username, req.CredName, err)
+		return s.failf(conn, notFoundMsg, "CHANGE_PASSPHRASE %q/%q: %v", req.Username, req.CredName, err)
 	}
 	if entry.Owner != peer {
-		return s.failf(conn, deniedMsg, "CHANGE_PASSPHRASE %s/%s by non-owner %s", req.Username, req.CredName, peer)
+		return s.failf(conn, deniedMsg, "CHANGE_PASSPHRASE %q/%q by non-owner %s", req.Username, req.CredName, peer)
 	}
 	if err := s.cfg.Passphrase.Check(req.NewPassphrase); err != nil {
 		return s.respond(conn, protocol.ErrorResponse("new pass phrase rejected: %v", err))
@@ -556,7 +556,7 @@ func (s *Server) handleChangePassphrase(conn gsi.Channel, req *protocol.Request)
 	case credstore.KindDelegated:
 		if err := credstore.Reseal(entry, []byte(req.Passphrase), []byte(req.NewPassphrase), s.cfg.KDFIterations); err != nil {
 			if errors.Is(err, credstore.ErrBadPassphrase) {
-				return s.failf(conn, badPhraseMsg, "CHANGE_PASSPHRASE %s/%s: bad pass phrase", req.Username, req.CredName)
+				return s.failf(conn, badPhraseMsg, "CHANGE_PASSPHRASE %q/%q: bad pass phrase", req.Username, req.CredName)
 			}
 			s.respond(conn, protocol.ErrorResponse("reseal failed"))
 			return err
@@ -572,7 +572,7 @@ func (s *Server) handleChangePassphrase(conn gsi.Channel, req *protocol.Request)
 		return err
 	}
 	s.stats.PassphraseChange.Add(1)
-	s.cfg.logf("RESEALED %s/%s by %s", req.Username, req.CredName, peer)
+	s.cfg.logf("RESEALED %q/%q by %s", req.Username, req.CredName, peer)
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -587,7 +587,7 @@ func (s *Server) handleStore(conn gsi.Channel, req *protocol.Request) error {
 		return s.respond(conn, protocol.ErrorResponse("pass phrase rejected: %v", err))
 	}
 	if prev, err := s.store.Get(req.Username, req.CredName); err == nil && prev.Owner != peer {
-		return s.failf(conn, deniedMsg, "STORE overwrite of %s/%s by non-owner %s", req.Username, req.CredName, peer)
+		return s.failf(conn, deniedMsg, "STORE overwrite of %q/%q by non-owner %s", req.Username, req.CredName, peer)
 	}
 	if err := s.respond(conn, protocol.OKResponse()); err != nil {
 		return err
@@ -621,7 +621,7 @@ func (s *Server) handleStore(conn gsi.Channel, req *protocol.Request) error {
 		return err
 	}
 	s.stats.Stores.Add(1)
-	s.cfg.logf("STORED(blob) %s/%s for %s (%d bytes)", req.Username, req.CredName, peer, len(blob))
+	s.cfg.logf("STORED(blob) %q/%q for %s (%d bytes)", req.Username, req.CredName, peer, len(blob))
 	return s.respond(conn, protocol.OKResponse())
 }
 
@@ -647,19 +647,19 @@ func (s *Server) handleRetrieve(conn gsi.Channel, req *protocol.Request) error {
 	}
 	entry, err := s.selectEntry(req.Username, req.CredName, req.TaskHint)
 	if err != nil {
-		return s.failf(conn, notFoundMsg, "RETRIEVE %s/%s: %v", req.Username, req.CredName, err)
+		return s.failf(conn, notFoundMsg, "RETRIEVE %q/%q: %v", req.Username, req.CredName, err)
 	}
 	if entry.Kind != credstore.KindStored {
 		return s.failf(conn, "credential is not retrievable; use get-delegation",
-			"RETRIEVE %s/%s is %s", req.Username, entry.Name, entry.Kind)
+			"RETRIEVE %q/%q is %s", req.Username, entry.Name, entry.Kind)
 	}
 	if entry.Retrievers != "" && !policyMatch(entry.Retrievers, peer) {
-		return s.failf(conn, deniedMsg, "RETRIEVE %s/%s: %s not in credential retriever list", req.Username, entry.Name, peer)
+		return s.failf(conn, deniedMsg, "RETRIEVE %q/%q: %s not in credential retriever list", req.Username, entry.Name, peer)
 	}
 	if err := entry.CheckPassphrase([]byte(req.Passphrase)); err != nil {
-		return s.failf(conn, badPhraseMsg, "RETRIEVE %s/%s: bad pass phrase", req.Username, entry.Name)
+		return s.failf(conn, badPhraseMsg, "RETRIEVE %q/%q: bad pass phrase", req.Username, entry.Name)
 	}
 	s.stats.Retrieves.Add(1)
-	s.cfg.logf("RETRIEVED %s/%s by %s", req.Username, entry.Name, peer)
+	s.cfg.logf("RETRIEVED %q/%q by %s", req.Username, entry.Name, peer)
 	return s.respond(conn, &protocol.Response{Code: protocol.RespOK, Blob: entry.SealedKey})
 }

@@ -19,12 +19,25 @@ import (
 // MyProxy requests are small; a megabyte is generous.
 const DefaultMaxFrame = 1 << 20
 
-// ErrFrameTooLarge is returned when an incoming frame exceeds the limit.
+// MaxFrameSize is the absolute wire ceiling: no frame, whatever limit a
+// caller configures, may carry more payload than this. Readers clamp the
+// caller's max to it before comparing the length prefix — the comparison
+// dominates the allocation, so a hostile prefix can never demand more
+// than MaxFrameSize bytes — and writers refuse to emit a larger frame,
+// which also rules out the silent uint32 truncation a multi-gigabyte
+// payload would otherwise hit in the length header.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when an incoming frame exceeds the limit,
+// or an outgoing payload exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("gsi: frame exceeds maximum size")
 
 // WriteFrame writes one length-prefixed message.
 //myproxy:hotpath
 func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), MaxFrameSize)
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -42,6 +55,9 @@ func WriteFrame(w io.Writer, payload []byte) error {
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
+	}
+	if max > MaxFrameSize {
+		max = MaxFrameSize
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -74,6 +90,9 @@ func WriteStreamFrame(w io.Writer, id uint32, payload []byte) error {
 	if id == 0 {
 		return errors.New("gsi: stream id 0 is reserved")
 	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), MaxFrameSize)
+	}
 	var hdr [4 + streamIDLen]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+streamIDLen))
 	binary.BigEndian.PutUint32(hdr[4:], id)
@@ -92,6 +111,9 @@ func WriteStreamFrame(w io.Writer, id uint32, payload []byte) error {
 func ReadStreamFrame(r io.Reader, max int) (uint32, []byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
+	}
+	if max > MaxFrameSize {
+		max = MaxFrameSize
 	}
 	var hdr [4 + streamIDLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -64,3 +64,60 @@ func TestFrameProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// failReader errors on every Read: if the frame reader tries to pull body
+// bytes (which implies it already allocated the payload buffer), the test
+// sees readBodyErr instead of ErrFrameTooLarge.
+type failReader struct{ hdr []byte }
+
+var readBodyErr = errors.New("read past the header")
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if len(f.hdr) == 0 {
+		return 0, readBodyErr
+	}
+	n := copy(p, f.hdr)
+	f.hdr = f.hdr[n:]
+	return n, nil
+}
+
+// TestOversizedPrefixRejectedBeforeAllocation: a hostile length prefix is
+// refused by the bound check alone — no payload read, no payload
+// allocation — however large the caller sets max.
+func TestOversizedPrefixRejectedBeforeAllocation(t *testing.T) {
+	hostile := []byte{0xff, 0xff, 0xff, 0xff} // claims ~4 GiB
+	if _, err := ReadFrame(&failReader{hdr: hostile}, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame(hostile prefix) = %v, want ErrFrameTooLarge", err)
+	}
+	// A caller-supplied max beyond the wire ceiling is clamped to
+	// MaxFrameSize, so the hostile prefix still loses.
+	if _, err := ReadFrame(&failReader{hdr: hostile}, 1<<31); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame(hostile prefix, huge max) = %v, want ErrFrameTooLarge", err)
+	}
+	stream := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1}
+	if _, _, err := ReadStreamFrame(&failReader{hdr: stream}, 1<<31); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadStreamFrame(hostile prefix) = %v, want ErrFrameTooLarge", err)
+	}
+	// The rejection allocates no payload: only the error value itself.
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _ = ReadFrame(&failReader{hdr: []byte{0xff, 0xff, 0xff, 0xff}}, 0)
+	})
+	if allocs > 8 {
+		t.Errorf("oversized-prefix rejection allocated %.0f objects; payload-sized make must not run", allocs)
+	}
+}
+
+// TestWriteFrameRejectsOversizedPayload: the writers refuse payloads past
+// MaxFrameSize instead of truncating the uint32 length header.
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame(oversized) = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteStreamFrame(io.Discard, 7, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteStreamFrame(oversized) = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, 4096)); err != nil {
+		t.Fatalf("WriteFrame(small) = %v", err)
+	}
+}

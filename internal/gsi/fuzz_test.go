@@ -1,0 +1,83 @@
+package gsi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// frameBytes marshals one plain frame for the seed corpus.
+func frameBytes(tb testing.TB, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame feeds the length-prefixed frame reader arbitrary wire
+// bytes. An accepted frame must respect the configured maximum and
+// survive a re-frame round trip; a hostile prefix must be rejected by the
+// bound check, never by exhausting memory.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(f, []byte("hello")))
+	f.Add(frameBytes(f, nil))
+	f.Add(frameBytes(f, bytes.Repeat([]byte{0xab}, 1000)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'i'}) // truncated body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 16
+		payload, err := ReadFrame(bytes.NewReader(data), max)
+		if err != nil {
+			return
+		}
+		if len(payload) > max {
+			t.Fatalf("accepted frame of %d bytes past max %d", len(payload), max)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("re-frame failed: %v", err)
+		}
+		back, err := ReadFrame(&buf, max)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("re-frame round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadStreamFrame covers the stream-tagged variant: the id must be
+// nonzero, the payload bounded, and the round trip faithful.
+func FuzzReadStreamFrame(f *testing.F) {
+	seed := func(id uint32, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteStreamFrame(&buf, id, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(1, []byte("hello")))
+	f.Add(seed(0xffffffff, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 4, 0, 0, 0, 0}) // reserved id 0
+	f.Add([]byte{0, 0, 0, 2, 0, 0})       // shorter than the id
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 16
+		id, payload, err := ReadStreamFrame(bytes.NewReader(data), max)
+		if err != nil {
+			return
+		}
+		if id == 0 {
+			t.Fatal("accepted the reserved stream id 0")
+		}
+		if len(payload) > max {
+			t.Fatalf("accepted frame of %d bytes past max %d", len(payload), max)
+		}
+		var buf bytes.Buffer
+		if err := WriteStreamFrame(&buf, id, payload); err != nil {
+			t.Fatalf("re-frame failed: %v", err)
+		}
+		backID, back, err := ReadStreamFrame(&buf, max)
+		if err != nil || backID != id || !bytes.Equal(back, payload) {
+			t.Fatalf("re-frame round trip failed: id %d != %d, %v", backID, id, err)
+		}
+	})
+}

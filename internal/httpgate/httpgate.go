@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/credstore"
 	"repro/internal/policy"
+	"repro/internal/protocol"
 	"repro/internal/proxy"
 )
 
@@ -133,7 +134,7 @@ func (g *Gateway) requireIdentity(h identityHandler) http.HandlerFunc {
 			CurrentTime: g.now(),
 		})
 		if err != nil {
-			g.logf("httpgate: reject %v: %v", r.RemoteAddr, err)
+			g.logf("httpgate: reject %q: %v", r.RemoteAddr, err)
 			writeErr(w, http.StatusUnauthorized, "client chain rejected")
 			return
 		}
@@ -152,9 +153,28 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// checkNames validates the wire-supplied username and (optional)
+// credential name before any backend call runs on them, writing a 400 and
+// reporting false on a charset or length violation. This mirrors
+// protocol.ParseRequest's boundary check for the JSON transport.
+func checkNames(w http.ResponseWriter, username, credName string) bool {
+	if err := protocol.ValidateUsername(username); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if credName != "" {
+		if err := protocol.ValidateCredName(credName); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return false
+		}
+	}
+	return true
+}
+
 // GetRequest is the body of POST /v1/get: HTTP-shaped Figure 2. The CSR
 // carries the public key the client wants certified; the response carries
 // the signed proxy chain, so the whole delegation is one round trip.
+//myproxy:untrusted
 type GetRequest struct {
 	Username        string `json:"username"`
 	Passphrase      string `json:"passphrase"`
@@ -176,6 +196,9 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, peer *proxy.
 	var req GetRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "malformed request body")
+		return
+	}
+	if !checkNames(w, req.Username, req.CredName) {
 		return
 	}
 	peerDN := peer.IdentityString()
@@ -248,7 +271,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, peer *proxy.
 		return
 	}
 	chain := append([]*x509.Certificate{cert}, issuer.CertChain()...)
-	g.logf("httpgate: DELEGATED %s/%s to %s for %v", req.Username, entry.Name, peerDN, lifetime)
+	g.logf("httpgate: DELEGATED %q/%q to %s for %v", req.Username, entry.Name, peerDN, lifetime)
 	writeJSON(w, GetResponse{ChainPEM: string(encodeChain(chain))})
 }
 
@@ -314,6 +337,7 @@ func durString(d time.Duration) string {
 }
 
 // StoreRequest deposits a client-sealed blob (§6.1 over HTTP).
+//myproxy:untrusted
 type StoreRequest struct {
 	Username    string   `json:"username"`
 	Passphrase  string   `json:"passphrase"`
@@ -329,6 +353,9 @@ func (g *Gateway) handleStore(w http.ResponseWriter, r *http.Request, peer *prox
 	var req StoreRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "malformed request body")
+		return
+	}
+	if !checkNames(w, req.Username, req.CredName) {
 		return
 	}
 	peerDN := peer.IdentityString()
@@ -362,11 +389,12 @@ func (g *Gateway) handleStore(w http.ResponseWriter, r *http.Request, peer *prox
 		writeErr(w, http.StatusInternalServerError, "store error")
 		return
 	}
-	g.logf("httpgate: STORED %s/%s for %s", req.Username, req.CredName, peerDN)
+	g.logf("httpgate: STORED %q/%q for %s", req.Username, req.CredName, peerDN)
 	writeJSON(w, map[string]bool{"ok": true})
 }
 
 // RetrieveRequest fetches a stored blob.
+//myproxy:untrusted
 type RetrieveRequest struct {
 	Username   string `json:"username"`
 	Passphrase string `json:"passphrase"`
@@ -379,6 +407,9 @@ func (g *Gateway) handleRetrieve(w http.ResponseWriter, r *http.Request, peer *p
 	var req RetrieveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "malformed request body")
+		return
+	}
+	if !checkNames(w, req.Username, req.CredName) {
 		return
 	}
 	peerDN := peer.IdentityString()
@@ -403,11 +434,12 @@ func (g *Gateway) handleRetrieve(w http.ResponseWriter, r *http.Request, peer *p
 		writeErr(w, http.StatusForbidden, "bad pass phrase or username")
 		return
 	}
-	g.logf("httpgate: RETRIEVED %s/%s by %s", req.Username, entry.Name, peerDN)
+	g.logf("httpgate: RETRIEVED %q/%q by %s", req.Username, entry.Name, peerDN)
 	writeJSON(w, map[string][]byte{"blob": entry.SealedKey})
 }
 
 // DestroyRequest removes a credential.
+//myproxy:untrusted
 type DestroyRequest struct {
 	Username   string `json:"username"`
 	Passphrase string `json:"passphrase"`
@@ -418,6 +450,9 @@ func (g *Gateway) handleDestroy(w http.ResponseWriter, r *http.Request, peer *pr
 	var req DestroyRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "malformed request body")
+		return
+	}
+	if !checkNames(w, req.Username, req.CredName) {
 		return
 	}
 	entry, err := g.store.Get(req.Username, req.CredName)
@@ -437,7 +472,7 @@ func (g *Gateway) handleDestroy(w http.ResponseWriter, r *http.Request, peer *pr
 		writeErr(w, http.StatusInternalServerError, "store error")
 		return
 	}
-	g.logf("httpgate: DESTROYED %s/%s", req.Username, req.CredName)
+	g.logf("httpgate: DESTROYED %q/%q", req.Username, req.CredName)
 	writeJSON(w, map[string]bool{"ok": true})
 }
 

@@ -1,0 +1,41 @@
+package httpgate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestCheckNames: the gateway mirrors protocol.ParseRequest's boundary
+// validation, so a hostile username or credential name draws a 400 before
+// any store lookup.
+func TestCheckNames(t *testing.T) {
+	bad := []struct{ user, cred string }{
+		{"../../etc/passwd", ""},
+		{"jd oe", ""},
+		{"jd\x00oe", ""},
+		{"", ""},
+		{"alice", "a/b"},
+		{"alice", "a\nb"},
+	}
+	for _, c := range bad {
+		w := httptest.NewRecorder()
+		if checkNames(w, c.user, c.cred) {
+			t.Errorf("checkNames(%q, %q) accepted a hostile name", c.user, c.cred)
+		}
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("checkNames(%q, %q) wrote status %d, want 400", c.user, c.cred, w.Code)
+		}
+	}
+	good := []struct{ user, cred string }{
+		{"alice", ""},
+		{"user@example.org", "cluster-a"},
+		{"j.doe_2+x", "longterm"},
+	}
+	for _, c := range good {
+		w := httptest.NewRecorder()
+		if !checkNames(w, c.user, c.cred) {
+			t.Errorf("checkNames(%q, %q) rejected a valid name", c.user, c.cred)
+		}
+	}
+}

@@ -334,7 +334,11 @@ func (p *Portal) handleLogin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "session error")
 		return
 	}
-	p.logf("login %q as %s until %v", username, sess.Identity, sess.Expires)
+	p.logf("login %q as %q until %v", username, sess.Identity, sess.Expires)
+	// The cookie value is the server-generated session token, never client
+	// input; the session object is tainted only through its username field
+	// (the lattice is field-insensitive).
+	//myproxy:allow hdrtaint cookie carries the server-generated session token, not client input
 	http.SetCookie(w, &http.Cookie{
 		Name:     sessionCookie,
 		Value:    sess.Token,
@@ -412,7 +416,7 @@ func (p *Portal) handleSubmit(w http.ResponseWriter, r *http.Request, sess *Sess
 		httpError(w, http.StatusBadGateway, err.Error())
 		return
 	}
-	p.logf("submit %s for %q -> %s", executable, sess.Username, st.ID)
+	p.logf("submit %q for %q -> %q", executable, sess.Username, st.ID)
 	httpJSON(w, st)
 }
 

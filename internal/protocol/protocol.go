@@ -81,6 +81,9 @@ func (c Command) Valid() bool {
 	return ok
 }
 
+// Every field of a Request is raw wire input until validated: the taint
+// passes treat Request values as ambient-tainted by type.
+//myproxy:untrusted
 // Request is a parsed client request.
 type Request struct {
 	Command    Command
@@ -384,6 +387,16 @@ func ParseRequest(data []byte) (*Request, error) {
 	}
 	if req.Username == "" {
 		return nil, errors.New("protocol: missing USERNAME")
+	}
+	// Charset validation runs at the parse boundary: a request carrying a
+	// hostile username or credential name never reaches a handler.
+	if err := ValidateUsername(req.Username); err != nil {
+		return nil, err
+	}
+	if req.CredName != "" {
+		if err := ValidateCredName(req.CredName); err != nil {
+			return nil, err
+		}
 	}
 	return req, nil
 }

@@ -158,13 +158,31 @@ func TestCommandString(t *testing.T) {
 	}
 }
 
-// Property: any username/passphrase round-trips, including control
-// characters and '=' signs.
+// toWireName folds an arbitrary string onto the validated name alphabet,
+// so the round-trip property and the parse-boundary charset check compose.
+func toWireName(s string) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._@+-"
+	if s == "" {
+		return "u"
+	}
+	b := []byte(s)
+	if len(b) > 64 {
+		b = b[:64]
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = alphabet[int(c)%len(alphabet)]
+	}
+	return string(out)
+}
+
+// Property: any passphrase round-trips, including control characters and
+// '=' signs. Usernames are drawn from the wire alphabet — arbitrary
+// usernames are a rejection property (TestParseRequestRejectsHostileNames),
+// not a round-trip one, since validation runs at the parse boundary.
 func TestRequestRoundTripProperty(t *testing.T) {
 	f := func(user, pass string) bool {
-		if user == "" {
-			user = "u"
-		}
+		user = toWireName(user)
 		req := &Request{Command: CmdGet, Username: user, Passphrase: pass}
 		data, err := MarshalRequest(req)
 		if err != nil {

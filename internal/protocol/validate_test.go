@@ -1,0 +1,76 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateUsername(t *testing.T) {
+	good := []string{
+		"jdoe", "alice", "user@example.org", "J.Doe_2+x", "-",
+		"a", strings.Repeat("x", 128),
+	}
+	for _, u := range good {
+		if err := ValidateUsername(u); err != nil {
+			t.Errorf("ValidateUsername(%q) = %v, want nil", u, err)
+		}
+	}
+	bad := []string{
+		"", "jo e", "a/b", "..\\x", "a\x00b", "a\nb", "a\rb",
+		"ünïcode", "semi;colon", "dollar$", strings.Repeat("x", 129),
+	}
+	for _, u := range bad {
+		if err := ValidateUsername(u); err == nil {
+			t.Errorf("ValidateUsername(%q) = nil, want error", u)
+		}
+	}
+}
+
+func TestValidateCredName(t *testing.T) {
+	good := []string{"cluster-a", "longterm", "job.7", "x", "blob"}
+	for _, n := range good {
+		if err := ValidateCredName(n); err != nil {
+			t.Errorf("ValidateCredName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{"", "a b", "a/b", "a\x00", strings.Repeat("n", 129)}
+	for _, n := range bad {
+		if err := ValidateCredName(n); err == nil {
+			t.Errorf("ValidateCredName(%q) = nil, want error", n)
+		}
+	}
+}
+
+// TestParseRequestRejectsHostileNames: the charset check runs at the
+// parse boundary, so a request carrying a hostile USERNAME or CRED_NAME
+// never reaches a handler. Marshal does not validate (it faithfully
+// escapes whatever it is given), which is exactly what lets this test
+// build the hostile wire bytes.
+func TestParseRequestRejectsHostileNames(t *testing.T) {
+	cases := []Request{
+		{Command: CmdGet, Username: "jd\x00oe", Passphrase: "p"},
+		{Command: CmdGet, Username: "../../etc/passwd", Passphrase: "p"},
+		{Command: CmdGet, Username: "jd oe", Passphrase: "p"},
+		{Command: CmdGet, Username: "jdoe\nRESPONSE=0", Passphrase: "p"},
+		{Command: CmdGet, Username: strings.Repeat("j", 129), Passphrase: "p"},
+		{Command: CmdDestroy, Username: "jdoe", Passphrase: "p", CredName: "a/b"},
+		{Command: CmdDestroy, Username: "jdoe", Passphrase: "p", CredName: "a\x07b"},
+	}
+	for _, req := range cases {
+		data, err := MarshalRequest(&req)
+		if err != nil {
+			t.Fatalf("MarshalRequest(%q/%q): %v", req.Username, req.CredName, err)
+		}
+		if _, err := ParseRequest(data); err == nil {
+			t.Errorf("ParseRequest accepted hostile name %q/%q", req.Username, req.CredName)
+		}
+	}
+	// The session-hello placeholder must keep parsing.
+	data, err := MarshalRequest(&Request{Command: CmdSession, Username: "-"})
+	if err != nil {
+		t.Fatalf("MarshalRequest(hello): %v", err)
+	}
+	if _, err := ParseRequest(data); err != nil {
+		t.Errorf("ParseRequest rejected the %q session placeholder: %v", "-", err)
+	}
+}
